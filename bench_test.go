@@ -1,0 +1,422 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section 7), plus ablations of the design decisions called
+// out in DESIGN.md. Each figure bench runs the corresponding simulation
+// and reports the paper's quantities as custom metrics (prop-s, MB,
+// B/s-per-peer, recall, peers-contacted), so `go test -bench=. -benchmem`
+// reproduces the whole evaluation in one command.
+//
+//	go test -bench=Table1 .      # micro-benchmarks (Table 1)
+//	go test -bench=Fig2 .        # propagation time/volume/bandwidth
+//	go test -bench=. -benchmem   # everything
+package planetp_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"planetp/internal/bloom"
+	"planetp/internal/collection"
+	"planetp/internal/gossip"
+	"planetp/internal/gossipsim"
+	"planetp/internal/index"
+	"planetp/internal/ir"
+	"planetp/internal/search"
+	"planetp/internal/simnet"
+	"planetp/internal/text"
+)
+
+// --- Table 1: micro-benchmark costs of basic operations -----------------
+
+func benchKeys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("term-%d", i)
+	}
+	return out
+}
+
+// BenchmarkTable1BloomInsert measures per-key Bloom insertion (Table 1
+// row 1; the paper: 4ms + 0.011ms/key after JIT).
+func BenchmarkTable1BloomInsert(b *testing.B) {
+	keys := benchKeys(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := bloom.Default()
+		f.InsertAll(keys)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/1000, "ns/key")
+}
+
+// BenchmarkTable1BloomSearch measures membership tests (Table 1 row 2).
+func BenchmarkTable1BloomSearch(b *testing.B) {
+	f := bloom.Default()
+	keys := benchKeys(1000)
+	f.InsertAll(keys)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Contains(keys[i%len(keys)])
+	}
+}
+
+// BenchmarkTable1BloomCompress measures Golomb compression of a 50000-term
+// filter (Table 1 row 3; the paper: ~0.5s with JIT for 50k terms).
+func BenchmarkTable1BloomCompress(b *testing.B) {
+	f := bloom.Default()
+	f.InsertAll(benchKeys(50000))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Compress()
+	}
+}
+
+// BenchmarkTable1BloomDecompress measures decompression (Table 1 row 4).
+func BenchmarkTable1BloomDecompress(b *testing.B) {
+	f := bloom.Default()
+	f.InsertAll(benchKeys(50000))
+	buf := f.Compress()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bloom.Decompress(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1IndexInsert measures inverted-index insertion (Table 1
+// row 5).
+func BenchmarkTable1IndexInsert(b *testing.B) {
+	freqs := make(map[string]int, 1000)
+	for _, k := range benchKeys(1000) {
+		freqs[k] = 2
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix := index.New()
+		ix.AddTermFreqs(freqs)
+	}
+}
+
+// BenchmarkTable1IndexSearch measures inverted-index lookups (Table 1 row
+// 6).
+func BenchmarkTable1IndexSearch(b *testing.B) {
+	ix := index.New()
+	freqs := make(map[string]int, 1000)
+	keys := benchKeys(1000)
+	for _, k := range keys {
+		freqs[k] = 2
+	}
+	for d := 0; d < 100; d++ {
+		ix.AddTermFreqs(freqs)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Lookup(keys[i%len(keys)])
+	}
+}
+
+// BenchmarkTable1FiveTermQueryAcross1000Filters reproduces the paper's
+// "50 ms to search a query with five terms across 1000 Bloom filters".
+func BenchmarkTable1FiveTermQueryAcross1000Filters(b *testing.B) {
+	filters := make([]*bloom.Filter, 1000)
+	for i := range filters {
+		filters[i] = bloom.Default()
+		filters[i].InsertAll(benchKeys(1000))
+	}
+	query := []string{"term-1", "term-2", "term-3", "term-999", "absent"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range filters {
+			f.ContainsAll(query)
+		}
+	}
+}
+
+// --- Figure 2: propagation time / volume / per-peer bandwidth -----------
+
+func benchPropagation(b *testing.B, sc gossipsim.Scenario, n int) {
+	b.Helper()
+	var last gossipsim.PropagationPoint
+	for i := 0; i < b.N; i++ {
+		last = gossipsim.Propagation(sc, n, int64(i+1))
+	}
+	b.ReportMetric(last.Time.Seconds(), "prop-s")
+	b.ReportMetric(float64(last.Bytes)/1e6, "MB")
+	b.ReportMetric(last.PerPeerBW, "B/s-per-peer")
+}
+
+// BenchmarkFig2LAN500 etc. regenerate one point of each Figure 2 series.
+func BenchmarkFig2LAN500(b *testing.B)   { benchPropagation(b, gossipsim.LAN, 500) }
+func BenchmarkFig2LANAE500(b *testing.B) { benchPropagation(b, gossipsim.LANAE, 500) }
+func BenchmarkFig2DSL10_500(b *testing.B) {
+	benchPropagation(b, gossipsim.DSL10, 500)
+}
+func BenchmarkFig2DSL30_500(b *testing.B) {
+	benchPropagation(b, gossipsim.DSL30, 500)
+}
+func BenchmarkFig2DSL60_500(b *testing.B) {
+	benchPropagation(b, gossipsim.DSL60, 500)
+}
+func BenchmarkFig2MIX500(b *testing.B) { benchPropagation(b, gossipsim.MIX, 500) }
+
+// BenchmarkFig2DSL30_2000 is the scalability point: propagation stays
+// log-like out to thousands of peers.
+func BenchmarkFig2DSL30_2000(b *testing.B) { benchPropagation(b, gossipsim.DSL30, 2000) }
+
+// --- Figure 3: mass join -------------------------------------------------
+
+func benchJoin(b *testing.B, sc gossipsim.Scenario, base, joiners int) {
+	b.Helper()
+	var last gossipsim.JoinResult
+	for i := 0; i < b.N; i++ {
+		last = gossipsim.Join(sc, base, joiners, int64(i+1))
+	}
+	b.ReportMetric(last.Time.Seconds(), "join-s")
+	b.ReportMetric(float64(last.Bytes)/1e6, "MB")
+	if !last.Converged {
+		b.Log("warning: did not converge within horizon")
+	}
+}
+
+func BenchmarkFig3JoinLAN(b *testing.B)   { benchJoin(b, gossipsim.LAN, 500, 50) }
+func BenchmarkFig3JoinDSL30(b *testing.B) { benchJoin(b, gossipsim.DSL30, 500, 50) }
+func BenchmarkFig3JoinMIX(b *testing.B)   { benchJoin(b, gossipsim.MIX, 500, 50) }
+
+// --- Figure 4a: arrival convergence and the partial-AE ablation ---------
+
+func benchArrivals(b *testing.B, sc gossipsim.Scenario) {
+	b.Helper()
+	var cdf gossipsim.CDF
+	for i := 0; i < b.N; i++ {
+		cdf = gossipsim.ArrivalCDF(sc, 500, 50, 90*time.Second, int64(i+1))
+	}
+	b.ReportMetric(cdf.Percentile(50).Seconds(), "p50-s")
+	b.ReportMetric(cdf.Percentile(99).Seconds(), "p99-s")
+	b.ReportMetric(float64(cdf.Unconverged), "unconverged")
+}
+
+func BenchmarkFig4aArrivalsLAN(b *testing.B) { benchArrivals(b, gossipsim.LAN) }
+
+// BenchmarkAblationPartialAE is the LAN-NPA series: identical workload
+// without the rumor-ack piggyback. Compare p99-s against
+// BenchmarkFig4aArrivalsLAN — the tail widens markedly.
+func BenchmarkAblationPartialAE(b *testing.B) { benchArrivals(b, gossipsim.LANNPA) }
+
+// --- Figure 4b/4c and Figure 5: dynamic communities ----------------------
+
+func benchChurn(b *testing.B, sc gossipsim.Scenario, n int, fastOnly bool) gossipsim.ChurnResult {
+	b.Helper()
+	cfg := gossipsim.DefaultChurn(n)
+	cfg.Warmup = 15 * time.Minute
+	cfg.Measure = time.Hour
+	cfg.FastOnly = fastOnly
+	var r gossipsim.ChurnResult
+	for i := 0; i < b.N; i++ {
+		r = gossipsim.Churn(sc, cfg, int64(i+1))
+	}
+	b.ReportMetric(r.All.Percentile(50).Seconds(), "p50-s")
+	b.ReportMetric(r.All.Percentile(90).Seconds(), "p90-s")
+	b.ReportMetric(r.AggregateBandwidth()/1e3, "agg-KB/s")
+	return r
+}
+
+func BenchmarkFig4bChurnLAN(b *testing.B) { benchChurn(b, gossipsim.LAN, 500, false) }
+func BenchmarkFig4bChurnMIX(b *testing.B) { benchChurn(b, gossipsim.MIX, 500, false) }
+
+// BenchmarkFig5Churn2000 runs the 2000-member dynamic community; MIX-F /
+// MIX-S split out fast- and slow-sourced events under the fast-only
+// convergence condition.
+func BenchmarkFig5Churn2000(b *testing.B) {
+	r := benchChurn(b, gossipsim.MIX, 2000, true)
+	b.ReportMetric(r.Fast.Percentile(50).Seconds(), "mixF-p50-s")
+	b.ReportMetric(r.Slow.Percentile(50).Seconds(), "mixS-p50-s")
+}
+
+// BenchmarkAblationBandwidthAware turns off the two-class target
+// selection on the MIX profile: compare p90-s with BenchmarkFig4bChurnMIX
+// to see what the fast/slow split buys.
+func BenchmarkAblationBandwidthAware(b *testing.B) {
+	flat := gossipsim.MIX
+	flat.Name = "MIX-flat"
+	flat.BandwidthAware = false
+	benchChurn(b, flat, 500, false)
+}
+
+// BenchmarkAblationAdaptiveInterval measures residual gossip bandwidth of
+// a fully converged, idle community with and without the adaptive
+// slow-down (Section 3's claim: "bandwidth use is negligible after a
+// short time").
+func BenchmarkAblationAdaptiveInterval(b *testing.B) {
+	run := func(maxInterval time.Duration) float64 {
+		const n = 300
+		cfg := gossip.Config{BaseInterval: 30 * time.Second, MaxInterval: maxInterval}
+		s := simnet.New(n, cfg, simnet.DefaultParams(), 77)
+		simnet.BuildCommunity(s, n, simnet.UniformProfile(simnet.LAN),
+			gossipsim.Diff1000Keys, gossipsim.Full20000Keys)
+		s.Run(time.Hour) // settle and adapt
+		start := s.TotalBytes
+		s.Run(s.Now() + time.Hour)                      // measure an idle hour
+		return float64(s.TotalBytes-start) / 3600.0 / n // B/s per peer
+	}
+	var adaptive, fixed float64
+	for i := 0; i < b.N; i++ {
+		adaptive = run(60 * time.Second)              // normal adaptive slow-down
+		fixed = run(30*time.Second + time.Nanosecond) // effectively no slow-down room
+	}
+	b.ReportMetric(adaptive, "adaptive-B/s-peer")
+	b.ReportMetric(fixed, "fixed-B/s-peer")
+}
+
+// --- Table 3 and Figure 6: search quality --------------------------------
+
+// BenchmarkTable3Generate measures synthetic collection generation at the
+// default experiment scale.
+func BenchmarkTable3Generate(b *testing.B) {
+	spec := collection.ScaledSpec("AP89", 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		collection.Generate(spec, int64(i+1))
+	}
+}
+
+// fig6Community caches the evaluation community across benchmarks.
+var fig6Com *ir.Community
+
+func getFig6Community() *ir.Community {
+	if fig6Com == nil {
+		col := collection.Generate(collection.ScaledSpec("AP89", 8), 1)
+		fig6Com = ir.Distribute(col, 400, ir.Weibull, 8)
+	}
+	return fig6Com
+}
+
+// BenchmarkFig6aRecallPrecision regenerates Figure 6a's comparison at
+// k=20: recall/precision for TFxIDF vs TFxIPF.
+func BenchmarkFig6aRecallPrecision(b *testing.B) {
+	com := getFig6Community()
+	var pts []ir.RPPoint
+	for i := 0; i < b.N; i++ {
+		pts = ir.Evaluate(com, []int{20})
+	}
+	b.ReportMetric(pts[0].RecallIDF, "recall-idf")
+	b.ReportMetric(pts[0].RecallIPF, "recall-ipf")
+	b.ReportMetric(pts[0].PrecisionIDF, "prec-idf")
+	b.ReportMetric(pts[0].PrecisionIPF, "prec-ipf")
+}
+
+// BenchmarkFig6bRecallVsSize regenerates Figure 6b: recall at k=20 as the
+// community grows.
+func BenchmarkFig6bRecallVsSize(b *testing.B) {
+	col := collection.Generate(collection.ScaledSpec("AP89", 16), 1)
+	var pts []ir.SizePoint
+	for i := 0; i < b.N; i++ {
+		pts = ir.RecallVsSize(col, []int{100, 400, 1000}, 20, ir.Weibull, 8)
+	}
+	b.ReportMetric(pts[0].RecallIPF, "recall-100peers")
+	b.ReportMetric(pts[len(pts)-1].RecallIPF, "recall-1000peers")
+}
+
+// BenchmarkFig6cPeersContacted regenerates Figure 6c at k=100: peers
+// contacted by the adaptive rule vs the Best oracle.
+func BenchmarkFig6cPeersContacted(b *testing.B) {
+	com := getFig6Community()
+	var pts []ir.RPPoint
+	for i := 0; i < b.N; i++ {
+		pts = ir.Evaluate(com, []int{100})
+	}
+	b.ReportMetric(pts[0].PeersIPF, "peers-ipf")
+	b.ReportMetric(pts[0].PeersBest, "peers-best")
+	b.ReportMetric(pts[0].PeersIDF, "peers-idf")
+}
+
+// BenchmarkAblationStopRule compares the adaptive stopping heuristic
+// (equation 4) against the naive contact-until-k rule the paper rejects
+// ("this obvious approach leads to terrible retrieval performance"): the
+// naive rule stops as soon as k documents are in hand, contacting fewer
+// peers but sacrificing recall.
+func BenchmarkAblationStopRule(b *testing.B) {
+	com := getFig6Community()
+	const k = 40
+	run := func(naive bool) (peers, recall float64) {
+		for qi := range com.Col.Queries {
+			q := &com.Col.Queries[qi]
+			docs, st := search.Ranked(com, com, q.Terms,
+				search.Options{K: k, NoAdaptiveStop: naive})
+			retrieved := make([]int, 0, len(docs))
+			for _, d := range docs {
+				if idx, ok := ir.ParseDocKey(d.Key); ok {
+					retrieved = append(retrieved, idx)
+				}
+			}
+			r, _ := ir.RecallPrecision(retrieved, q.Relevant)
+			peers += float64(st.PeersContacted)
+			recall += r
+		}
+		nq := float64(len(com.Col.Queries))
+		return peers / nq, recall / nq
+	}
+	var ap, ar, np, nr float64
+	for i := 0; i < b.N; i++ {
+		ap, ar = run(false)
+		np, nr = run(true)
+	}
+	b.ReportMetric(ap, "adaptive-peers")
+	b.ReportMetric(ar, "adaptive-recall")
+	b.ReportMetric(np, "naive-peers")
+	b.ReportMetric(nr, "naive-recall")
+}
+
+// BenchmarkAblationUniformDistribution re-runs the Figure 6 community
+// with documents spread uniformly instead of Weibull. The companion
+// report's finding: PlanetP "does equally well although it has to contact
+// more peers as documents are more spread out".
+func BenchmarkAblationUniformDistribution(b *testing.B) {
+	col := collection.Generate(collection.ScaledSpec("AP89", 16), 1)
+	var wb, un []ir.RPPoint
+	for i := 0; i < b.N; i++ {
+		wb = ir.Evaluate(ir.Distribute(col, 200, ir.Weibull, 8), []int{20})
+		un = ir.Evaluate(ir.Distribute(col, 200, ir.Uniform, 8), []int{20})
+	}
+	b.ReportMetric(wb[0].RecallIPF, "weibull-recall")
+	b.ReportMetric(un[0].RecallIPF, "uniform-recall")
+	b.ReportMetric(wb[0].PeersIPF, "weibull-peers")
+	b.ReportMetric(un[0].PeersIPF, "uniform-peers")
+}
+
+// BenchmarkAblationChunkedPulls measures the paper's proposed modem
+// accommodation: capping anti-entropy pulls so a slow joiner acquires the
+// directory in pieces "over a much longer period of time". The expected
+// trade is visible in the metrics: total convergence takes longer with
+// the cap, but no single transfer monopolizes a slow link for minutes
+// (the joiner stays responsive and the community reaches it throughout).
+func BenchmarkAblationChunkedPulls(b *testing.B) {
+	capped := gossipsim.MIX
+	capped.Name = "MIX-chunked"
+	capped.PullBatch = 50
+	var plain, chunked gossipsim.JoinResult
+	for i := 0; i < b.N; i++ {
+		plain = gossipsim.Join(gossipsim.MIX, 300, 30, int64(i+1))
+		chunked = gossipsim.Join(capped, 300, 30, int64(i+1))
+	}
+	b.ReportMetric(plain.Time.Seconds(), "plain-join-s")
+	b.ReportMetric(chunked.Time.Seconds(), "chunked-join-s")
+	b.ReportMetric(float64(plain.Bytes)/1e6, "plain-MB")
+	b.ReportMetric(float64(chunked.Bytes)/1e6, "chunked-MB")
+}
+
+// --- supporting: text pipeline throughput -------------------------------
+
+// BenchmarkTextPipeline measures the indexing pipeline (tokenize + stop
+// words + Porter stem), the substrate cost under every Publish.
+func BenchmarkTextPipeline(b *testing.B) {
+	docText := "PlanetP uses gossiping to replicate directories containing " +
+		"Bloom filter summaries of peers inverted indexes enabling ranked " +
+		"content searches across dynamic communities of thousands of peers"
+	b.SetBytes(int64(len(docText)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		text.Terms(docText)
+	}
+}

@@ -1,0 +1,176 @@
+// Command gossipsim reproduces the paper's gossiping experiments
+// (Figures 2-5) on the discrete-event simulator and prints the series the
+// paper plots as CSV.
+//
+// Usage:
+//
+//	gossipsim -exp fig2  [-sizes 100,200,500,1000] [-seed 1]
+//	gossipsim -exp fig3  [-base 1000] [-joins 50,100,150,200,250]
+//	gossipsim -exp fig4a [-n 1000] [-arrivals 100]
+//	gossipsim -exp fig4b [-n 1000]   (also emits the fig4c timeline)
+//	gossipsim -exp fig5  [-n 2000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"planetp/internal/gossipsim"
+)
+
+func main() {
+	exp := flag.String("exp", "fig2", "experiment: fig2|fig3|fig4a|fig4b|fig4c|fig5")
+	sizesArg := flag.String("sizes", "50,100,200,300,500,750,1000,1500,2000,3000", "community sizes for fig2")
+	base := flag.Int("base", 1000, "base community size for fig3")
+	joinsArg := flag.String("joins", "50,100,150,200,250", "joiner counts for fig3")
+	n := flag.Int("n", 1000, "community size for fig4/fig5")
+	arrivals := flag.Int("arrivals", 100, "arrivals for fig4a")
+	seed := flag.Int64("seed", 1, "random seed")
+	scensArg := flag.String("scenarios", "", "comma-separated scenario subset (default per experiment)")
+	flag.Parse()
+
+	switch *exp {
+	case "fig2":
+		fig2(parseInts(*sizesArg), pickScenarios(*scensArg, []gossipsim.Scenario{
+			gossipsim.LAN, gossipsim.LANAE, gossipsim.DSL10, gossipsim.DSL30,
+			gossipsim.DSL60, gossipsim.MIX,
+		}), *seed)
+	case "fig3":
+		fig3(*base, parseInts(*joinsArg), pickScenarios(*scensArg, []gossipsim.Scenario{
+			gossipsim.LAN, gossipsim.DSL30, gossipsim.MIX,
+		}), *seed)
+	case "fig4a":
+		fig4a(*n, *arrivals, *seed)
+	case "fig4b", "fig4c":
+		fig4bc(*n, *seed)
+	case "fig5":
+		fig5(*n, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad integer %q\n", f)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func pickScenarios(arg string, def []gossipsim.Scenario) []gossipsim.Scenario {
+	if arg == "" {
+		return def
+	}
+	all := map[string]gossipsim.Scenario{
+		"LAN": gossipsim.LAN, "LAN-AE": gossipsim.LANAE, "LAN-NPA": gossipsim.LANNPA,
+		"DSL-10": gossipsim.DSL10, "DSL-30": gossipsim.DSL30, "DSL-60": gossipsim.DSL60,
+		"MIX": gossipsim.MIX,
+	}
+	var out []gossipsim.Scenario
+	for _, name := range strings.Split(arg, ",") {
+		sc, ok := all[strings.TrimSpace(name)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown scenario %q\n", name)
+			os.Exit(2)
+		}
+		out = append(out, sc)
+	}
+	return out
+}
+
+// fig2: propagation time (a), aggregate volume (b), per-peer bandwidth
+// (c) of one 1000-key Bloom filter vs community size.
+func fig2(sizes []int, scens []gossipsim.Scenario, seed int64) {
+	fmt.Println("# Figure 2: propagate one 1000-key Bloom filter through a stable community")
+	fmt.Println("scenario,peers,prop_time_s,total_bytes,per_peer_Bps")
+	for _, sc := range scens {
+		for _, n := range sizes {
+			p := gossipsim.Propagation(sc, n, seed+int64(n))
+			fmt.Printf("%s,%d,%.1f,%d,%.1f\n",
+				sc.Name, n, p.Time.Seconds(), p.Bytes, p.PerPeerBW)
+		}
+	}
+}
+
+// fig3: time for joiners to merge into a stable base community.
+func fig3(base int, joins []int, scens []gossipsim.Scenario, seed int64) {
+	fmt.Println("# Figure 3: x-base peers join a stable community (20000 keys each)")
+	fmt.Println("scenario,base,joiners,time_s,total_bytes,converged")
+	for _, sc := range scens {
+		for _, j := range joins {
+			r := gossipsim.Join(sc, base, j, seed+int64(j))
+			fmt.Printf("%s,%d,%d,%.1f,%d,%v\n",
+				sc.Name, base, j, r.Time.Seconds(), r.Bytes, r.Converged)
+		}
+	}
+}
+
+// fig4a: convergence-time CDF of Poisson arrivals, with vs without the
+// partial anti-entropy.
+func fig4a(n, arrivals int, seed int64) {
+	fmt.Println("# Figure 4a: arrival convergence CDF, with (LAN) and without (LAN-NPA) partial anti-entropy")
+	fmt.Println("scenario,percentile,conv_time_s")
+	for _, sc := range []gossipsim.Scenario{gossipsim.LAN, gossipsim.LANNPA} {
+		cdf := gossipsim.ArrivalCDF(sc, n, arrivals, 90*time.Second, seed)
+		printCDF(sc.Name, cdf)
+	}
+}
+
+func printCDF(name string, cdf gossipsim.CDF) {
+	for _, p := range []float64{10, 25, 50, 75, 90, 95, 99, 100} {
+		fmt.Printf("%s,%.0f,%.1f\n", name, p, cdf.Percentile(p).Seconds())
+	}
+	if cdf.Unconverged > 0 {
+		fmt.Printf("%s,unconverged,%d\n", name, cdf.Unconverged)
+	}
+}
+
+// fig4bc: dynamic community (Section 7.2's churn mix) convergence CDF and
+// aggregate bandwidth timeline.
+func fig4bc(n int, seed int64) {
+	fmt.Println("# Figure 4b: dynamic community convergence CDF; Figure 4c: bandwidth timeline")
+	cfg := gossipsim.DefaultChurn(n)
+	for _, sc := range []gossipsim.Scenario{gossipsim.LAN, gossipsim.MIX} {
+		r := gossipsim.Churn(sc, cfg, seed)
+		fmt.Printf("# %s: %d events, aggregate bandwidth %.1f KB/s\n",
+			sc.Name, r.Events, r.AggregateBandwidth()/1e3)
+		fmt.Println("scenario,percentile,conv_time_s")
+		printCDF(sc.Name, r.All)
+		fmt.Println("scenario,second,bytes")
+		for s := r.MeasureStart; s < r.MeasureEnd && s < len(r.Timeline); s += 30 {
+			fmt.Printf("%s,%d,%d\n", sc.Name, s-r.MeasureStart, r.Timeline[s])
+		}
+	}
+}
+
+// fig5: 2000-member dynamic community; MIX-F/MIX-S fast/slow-source
+// convergence with the fast-peers-only condition.
+func fig5(n int, seed int64) {
+	fmt.Println("# Figure 5: dynamic community convergence CDF (LAN, MIX, MIX-F, MIX-S)")
+	cfg := gossipsim.DefaultChurn(n)
+	fmt.Println("scenario,percentile,conv_time_s")
+	for _, sc := range []gossipsim.Scenario{gossipsim.LAN, gossipsim.MIX} {
+		r := gossipsim.Churn(sc, cfg, seed)
+		printCDF(sc.Name, r.All)
+	}
+	cfgF := cfg
+	cfgF.FastOnly = true
+	r := gossipsim.Churn(gossipsim.MIX, cfgF, seed)
+	printCDF("MIX-F", r.Fast)
+	printCDF("MIX-S", r.Slow)
+}

@@ -1,0 +1,202 @@
+// Command planetp-bench runs the full experiment suite — every table and
+// figure of the paper's evaluation (Section 7) — and prints a structured
+// report. It is the generator behind EXPERIMENTS.md.
+//
+//	planetp-bench             # standard sizes (a few minutes)
+//	planetp-bench -quick      # shrunk sizes (seconds; for CI)
+//	planetp-bench -full       # paper-scale everywhere (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"planetp/internal/bloom"
+	"planetp/internal/collection"
+	"planetp/internal/gossipsim"
+	"planetp/internal/index"
+	"planetp/internal/ir"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink everything for a fast smoke run")
+	full := flag.Bool("full", false, "paper-scale sizes everywhere (slow)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	sizesFig2 := []int{50, 100, 200, 300, 500, 750, 1000, 1500, 2000, 3000}
+	joins := []int{50, 100, 150, 200, 250}
+	baseN, churnN, churn2N, arrivals := 1000, 1000, 2000, 100
+	colScale, colPeers := 8, 400
+	ks := []int{10, 20, 50, 100, 150, 200, 300, 400}
+	fig6bSizes := []int{100, 200, 400, 600, 800, 1000}
+	switch {
+	case *quick:
+		sizesFig2 = []int{50, 100, 200}
+		joins = []int{20, 40}
+		baseN, churnN, churn2N, arrivals = 200, 150, 200, 20
+		colScale, colPeers = 16, 100
+		ks = []int{10, 20, 50}
+		fig6bSizes = []int{50, 100, 200}
+	case *full:
+		sizesFig2 = append(sizesFig2, 4000, 5000)
+		colScale = 1
+	}
+
+	start := time.Now()
+	table1()
+	table2()
+	fig2(sizesFig2, *seed)
+	fig3(baseN, joins, *seed)
+	fig4a(baseN, arrivals, *seed)
+	fig4bc(churnN, *seed)
+	fig5(churn2N, *seed)
+	table3(colScale, *seed)
+	fig6(colScale, colPeers, ks, fig6bSizes, *seed)
+	fmt.Printf("\n# total wall time: %v\n", time.Since(start).Round(time.Second))
+}
+
+// table1 times the paper's six micro-benchmarked operations.
+func table1() {
+	fmt.Println("## Table 1: micro-benchmark costs (native Go; the paper measured Java on an 800MHz P-III)")
+	keys := make([]string, 20000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+
+	timeIt := func(name string, n int, f func()) {
+		start := time.Now()
+		f()
+		el := time.Since(start)
+		fmt.Printf("%-28s %10v total, %8.1f ns/key (n=%d)\n",
+			name, el.Round(time.Microsecond), float64(el.Nanoseconds())/float64(n), n)
+	}
+
+	f := bloom.Default()
+	timeIt("bloom insert", len(keys), func() { f.InsertAll(keys) })
+	timeIt("bloom search", len(keys), func() {
+		for _, k := range keys {
+			f.Contains(k)
+		}
+	})
+	var buf []byte
+	timeIt("bloom compress", f.SetBits(), func() { buf = f.Compress() })
+	timeIt("bloom decompress", f.SetBits(), func() { _, _ = bloom.Decompress(buf) })
+
+	freqs := make(map[string]int, len(keys))
+	for _, k := range keys {
+		freqs[k] = 1
+	}
+	ix := index.New()
+	timeIt("inverted-index insert", len(keys), func() { ix.AddTermFreqs(freqs) })
+	timeIt("inverted-index search", len(keys), func() {
+		for _, k := range keys {
+			ix.Lookup(k)
+		}
+	})
+}
+
+func table2() {
+	fmt.Println("\n## Table 2: simulation constants (asserted in code)")
+	fmt.Println("cpu gossip time 5ms | base interval 30s | max interval 60s |")
+	fmt.Println("header 3B | peer summary 48B | BF summary 6B | 1000-key BF 3000B | 20000-key BF 16000B")
+}
+
+func fig2(sizes []int, seed int64) {
+	fmt.Println("\n## Figure 2: propagate one 1000-key Bloom filter (time / volume / per-peer bandwidth)")
+	fmt.Println("scenario,peers,prop_time_s,total_bytes,per_peer_Bps")
+	for _, sc := range []gossipsim.Scenario{
+		gossipsim.LAN, gossipsim.LANAE, gossipsim.DSL10, gossipsim.DSL30,
+		gossipsim.DSL60, gossipsim.MIX,
+	} {
+		for _, n := range sizes {
+			p := gossipsim.Propagation(sc, n, seed+int64(n))
+			fmt.Printf("%s,%d,%.1f,%d,%.1f\n", sc.Name, n, p.Time.Seconds(), p.Bytes, p.PerPeerBW)
+		}
+	}
+}
+
+func fig3(base int, joins []int, seed int64) {
+	fmt.Println("\n## Figure 3: simultaneous joins into a stable community (20000 keys each)")
+	fmt.Println("scenario,base,joiners,time_s,total_bytes,converged")
+	for _, sc := range []gossipsim.Scenario{gossipsim.LAN, gossipsim.DSL30, gossipsim.MIX} {
+		for _, j := range joins {
+			r := gossipsim.Join(sc, base, j, seed+int64(j))
+			fmt.Printf("%s,%d,%d,%.1f,%d,%v\n", sc.Name, base, j, r.Time.Seconds(), r.Bytes, r.Converged)
+		}
+	}
+}
+
+func fig4a(n, arrivals int, seed int64) {
+	fmt.Println("\n## Figure 4a: arrival convergence CDF, partial anti-entropy ablation")
+	fmt.Println("scenario,p50_s,p90_s,p99_s,max_s,unconverged")
+	for _, sc := range []gossipsim.Scenario{gossipsim.LAN, gossipsim.LANNPA} {
+		cdf := gossipsim.ArrivalCDF(sc, n, arrivals, 90*time.Second, seed)
+		fmt.Printf("%s,%.1f,%.1f,%.1f,%.1f,%d\n", sc.Name,
+			cdf.Percentile(50).Seconds(), cdf.Percentile(90).Seconds(),
+			cdf.Percentile(99).Seconds(), cdf.Percentile(100).Seconds(), cdf.Unconverged)
+	}
+}
+
+func fig4bc(n int, seed int64) {
+	fmt.Println("\n## Figure 4b/4c: dynamic community convergence + aggregate bandwidth")
+	fmt.Println("scenario,events,p50_s,p90_s,max_s,unconverged,aggregate_KBps")
+	cfg := gossipsim.DefaultChurn(n)
+	for _, sc := range []gossipsim.Scenario{gossipsim.LAN, gossipsim.MIX} {
+		r := gossipsim.Churn(sc, cfg, seed)
+		fmt.Printf("%s,%d,%.1f,%.1f,%.1f,%d,%.1f\n", sc.Name, r.Events,
+			r.All.Percentile(50).Seconds(), r.All.Percentile(90).Seconds(),
+			r.All.Percentile(100).Seconds(), r.All.Unconverged,
+			r.AggregateBandwidth()/1e3)
+	}
+}
+
+func fig5(n int, seed int64) {
+	fmt.Println("\n## Figure 5: 2000-member dynamic community (fast/slow split)")
+	fmt.Println("series,events,p50_s,p90_s,max_s,unconverged")
+	cfg := gossipsim.DefaultChurn(n)
+	for _, sc := range []gossipsim.Scenario{gossipsim.LAN, gossipsim.MIX} {
+		r := gossipsim.Churn(sc, cfg, seed)
+		fmt.Printf("%s,%d,%.1f,%.1f,%.1f,%d\n", sc.Name, r.Events,
+			r.All.Percentile(50).Seconds(), r.All.Percentile(90).Seconds(),
+			r.All.Percentile(100).Seconds(), r.All.Unconverged)
+	}
+	cfgF := cfg
+	cfgF.FastOnly = true
+	r := gossipsim.Churn(gossipsim.MIX, cfgF, seed)
+	for _, row := range []struct {
+		name string
+		cdf  gossipsim.CDF
+	}{{"MIX-F", r.Fast}, {"MIX-S", r.Slow}} {
+		fmt.Printf("%s,%d,%.1f,%.1f,%.1f,%d\n", row.name,
+			len(row.cdf.Times)+row.cdf.Unconverged,
+			row.cdf.Percentile(50).Seconds(), row.cdf.Percentile(90).Seconds(),
+			row.cdf.Percentile(100).Seconds(), row.cdf.Unconverged)
+	}
+}
+
+func table3(scale int, seed int64) {
+	fmt.Printf("\n## Table 3: collection characteristics (synthetic, scale 1/%d)\n", scale)
+	for _, name := range []string{"CACM", "MED", "CRAN", "CISI", "AP89"} {
+		col := collection.Generate(collection.ScaledSpec(name, scale), seed)
+		fmt.Println(col.Stats())
+	}
+}
+
+func fig6(scale, peers int, ks, sizes []int, seed int64) {
+	col := collection.Generate(collection.ScaledSpec("AP89", scale), seed)
+	com := ir.Distribute(col, peers, ir.Weibull, seed+7)
+	fmt.Printf("\n## Figure 6a/6c: %s over %d peers, Weibull\n", col.Name, peers)
+	fmt.Println("k,recall_idf,prec_idf,recall_ipf,prec_ipf,peers_idf,peers_ipf,peers_best")
+	for _, pt := range ir.Evaluate(com, ks) {
+		fmt.Printf("%d,%.3f,%.3f,%.3f,%.3f,%.1f,%.1f,%.1f\n",
+			pt.K, pt.RecallIDF, pt.PrecisionIDF, pt.RecallIPF, pt.PrecisionIPF,
+			pt.PeersIDF, pt.PeersIPF, pt.PeersBest)
+	}
+	fmt.Println("\n## Figure 6b: recall at k=20 vs community size")
+	fmt.Println("peers,recall_ipf,recall_idf")
+	for _, pt := range ir.RecallVsSize(col, sizes, 20, ir.Weibull, seed+7) {
+		fmt.Printf("%d,%.3f,%.3f\n", pt.Peers, pt.RecallIPF, pt.RecallIDF)
+	}
+}

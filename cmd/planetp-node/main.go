@@ -1,0 +1,228 @@
+// Command planetp-node runs a live PlanetP peer with an interactive
+// shell. Multiple instances on one machine (or LAN) form a community.
+//
+//	# first member
+//	planetp-node -id 0 -capacity 16 -listen 127.0.0.1:7001
+//	# subsequent members
+//	planetp-node -id 1 -capacity 16 -listen 127.0.0.1:7002 -join 127.0.0.1:7001
+//
+// Shell commands:
+//
+//	publish <xml...>      publish an XML snippet
+//	file <path>           publish a local file through PFS
+//	search <k> <query>    ranked TFxIPF search
+//	all <query>           exhaustive conjunctive search
+//	watch <query>         persistent query (prints matches as they appear)
+//	mkdir <query>         PFS semantic directory
+//	ls <query>            list a semantic directory
+//	get <peer> <key>      fetch a document body
+//	proxy <k> <query>     delegate a ranked search to a fast peer
+//	save <path>           snapshot documents + version counters to a file
+//	peers                 show the directory
+//	stats                 gossip statistics
+//	quit
+//
+// Start with -restore <path> to resume a previous incarnation from a
+// snapshot (the new epoch supersedes the old one automatically). Queries
+// support the structured syntax tag:word when -structured is on.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"planetp"
+)
+
+func main() {
+	id := flag.Int("id", 0, "peer id (unique, < capacity)")
+	capacity := flag.Int("capacity", 64, "community id-space size")
+	listen := flag.String("listen", "127.0.0.1:0", "listen address")
+	join := flag.String("join", "", "address of an existing member to bootstrap from")
+	name := flag.String("name", "", "peer name")
+	interval := flag.Duration("interval", 30*time.Second, "base gossip interval (T_g)")
+	slow := flag.Bool("slow", false, "mark this peer modem-class for bandwidth-aware gossip")
+	structured := flag.Bool("structured", false, "index terms scoped by XML element (tag:word queries)")
+	restore := flag.String("restore", "", "restore a previous incarnation from a snapshot file")
+	flag.Parse()
+
+	var snapshot []byte
+	if *restore != "" {
+		data, err := os.ReadFile(*restore)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		snapshot = data
+	}
+
+	class := planetp.Fast
+	if *slow {
+		class = planetp.Slow
+	}
+	peer, err := planetp.NewPeer(planetp.Config{
+		ID:              planetp.PeerID(*id),
+		Name:            *name,
+		ListenAddr:      *listen,
+		Capacity:        *capacity,
+		Class:           class,
+		Gossip:          planetp.GossipConfig{BaseInterval: *interval, MaxInterval: 2 * *interval},
+		Seed:            time.Now().UnixNano(),
+		BrokerTopFrac:   0.10,
+		BrokerDiscard:   10 * time.Minute,
+		StructuredIndex: *structured,
+		Epoch:           uint32(time.Now().Unix() & 0x7fffffff), // fresh incarnation
+		Restore:         snapshot,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer peer.Stop()
+
+	fs, err := planetp.NewFS(peer)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer fs.Close()
+
+	if *join != "" {
+		if err := peer.Join(*join); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	peer.Start()
+	fmt.Printf("%s listening on %s (id %d)\n", peer.Name(), peer.Addr(), peer.ID())
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("planetp> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		cmd, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		switch cmd {
+		case "quit", "exit":
+			return
+		case "publish":
+			d, err := peer.Publish(rest)
+			report(err, func() { fmt.Printf("published %s\n", d.ID) })
+		case "file":
+			d, err := fs.PublishFile(rest)
+			report(err, func() { fmt.Printf("published %s as %s\n", rest, d.ID) })
+		case "search":
+			kStr, q, _ := strings.Cut(rest, " ")
+			k, err := strconv.Atoi(kStr)
+			if err != nil || q == "" {
+				fmt.Println("usage: search <k> <query>")
+				continue
+			}
+			docs, st := peer.Search(q, k)
+			fmt.Printf("%d results (contacted %d/%d peers, stopped early: %v)\n",
+				len(docs), st.PeersContacted, st.PeersRanked, st.StoppedEarly)
+			for _, d := range docs {
+				fmt.Printf("  %.4f  peer %d  %s\n", d.Score, d.Peer, d.Key)
+			}
+		case "all":
+			docs := peer.SearchAll(rest)
+			fmt.Printf("%d results\n", len(docs))
+			for _, d := range docs {
+				fmt.Printf("  peer %d  %s\n", d.Peer, d.Key)
+			}
+		case "watch":
+			q := rest
+			peer.PostPersistentQuery(q, func(d planetp.DocResult) {
+				fmt.Printf("\n[watch %q] new match: peer %d %s\nplanetp> ", q, d.Peer, d.Key)
+			})
+			fmt.Printf("watching %q\n", q)
+		case "mkdir":
+			fs.MkDir(rest)
+			fmt.Printf("directory %q created\n", rest)
+		case "ls":
+			for _, e := range fs.MkDir(rest).Open() {
+				fmt.Printf("  %-30s %s\n", e.Name, e.URL)
+			}
+		case "proxy":
+			kStr, q, _ := strings.Cut(rest, " ")
+			k, err := strconv.Atoi(kStr)
+			if err != nil || q == "" {
+				fmt.Println("usage: proxy <k> <query>")
+				continue
+			}
+			proxy, ok := peer.PickProxy()
+			if !ok {
+				fmt.Println("no fast peer available to proxy through")
+				continue
+			}
+			docs, err := peer.SearchVia(proxy, q, k)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("%d results via proxy %d\n", len(docs), proxy)
+			for _, d := range docs {
+				fmt.Printf("  %.4f  peer %d  %s\n", d.Score, d.Peer, d.Key)
+			}
+		case "save":
+			data, err := peer.Snapshot()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if err := os.WriteFile(rest, data, 0o600); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("snapshot (%d bytes) written to %s\n", len(data), rest)
+		case "get":
+			pStr, key, _ := strings.Cut(rest, " ")
+			pid, err := strconv.Atoi(pStr)
+			if err != nil || key == "" {
+				fmt.Println("usage: get <peer> <key>")
+				continue
+			}
+			xml, err := peer.FetchDocument(planetp.PeerID(pid), key)
+			report(err, func() { fmt.Println(xml) })
+		case "peers":
+			dir := peer.Directory()
+			fmt.Printf("known %d, online %d\n", dir.NumKnown(), dir.NumOnline())
+			for _, pid := range dir.KnownIDs() {
+				e, _ := dir.Entry(pid)
+				rec, _ := dir.Get(pid)
+				status := "online"
+				if !e.Online {
+					status = "offline"
+				}
+				fmt.Printf("  %3d  v%-8s %-7s %s\n", pid, e.Ver, status, rec.Addr)
+			}
+		case "stats":
+			st := peer.Node().Stats()
+			fmt.Printf("rounds=%d rumors=%d ae=%d pulls=%d news=%d interval=%v\n",
+				st.Rounds, st.RumorsSent, st.AERequests, st.PullsSent,
+				st.NewsLearned, peer.Node().Interval())
+		default:
+			fmt.Println("commands: publish file search all proxy watch mkdir ls get save peers stats quit")
+		}
+	}
+}
+
+func report(err error, ok func()) {
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	ok()
+}

@@ -1,0 +1,127 @@
+// Modem: PlanetP's accommodations for bandwidth-limited members
+// (Section 7.2's future-work items, implemented here). A modem-class peer
+// joins a community of fast peers, acquires the directory in small pieces
+// (capped anti-entropy pulls), and delegates its ranked searches to a
+// fast proxy instead of contacting dozens of candidate peers over its
+// slow uplink.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"planetp"
+)
+
+const n = 10
+
+func main() {
+	fastCfg := planetp.GossipConfig{
+		BaseInterval: 30 * time.Millisecond,
+		MaxInterval:  120 * time.Millisecond,
+		SlowdownStep: 30 * time.Millisecond,
+	}
+	// The fast community.
+	peers := make([]*planetp.Peer, 0, n)
+	for i := 0; i < n-1; i++ {
+		p, err := planetp.NewPeer(planetp.Config{
+			ID: planetp.PeerID(i), Capacity: n,
+			Class:  planetp.Fast,
+			Gossip: fastCfg, Seed: int64(i + 1),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer p.Stop()
+		peers = append(peers, p)
+	}
+	for _, p := range peers[1:] {
+		if err := p.Join(peers[0].Addr()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, p := range peers {
+		p.Start()
+	}
+	for i, p := range peers {
+		_, err := p.Publish(fmt.Sprintf(
+			`<doc n="%d">distributed systems consensus paper number %d shard</doc>`, i, i))
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	waitFor(func() bool {
+		for _, p := range peers {
+			if p.Directory().NumKnown() != n-1 {
+				return false
+			}
+		}
+		return true
+	}, "fast community convergence")
+	fmt.Printf("fast community of %d peers converged\n", n-1)
+
+	// The modem peer: slow class, chunked directory pulls (3 records per
+	// anti-entropy exchange).
+	modemCfg := fastCfg
+	modemCfg.BandwidthAware = true
+	modemCfg.MaxPullBatch = 3
+	modem, err := planetp.NewPeer(planetp.Config{
+		ID: n - 1, Capacity: n,
+		Class:  planetp.Slow,
+		Gossip: modemCfg, Seed: 99,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer modem.Stop()
+	if err := modem.Join(peers[0].Addr()); err != nil {
+		log.Fatal(err)
+	}
+	modem.Start()
+
+	// Watch the directory arrive in pieces.
+	last := modem.Directory().NumKnown()
+	fmt.Printf("modem peer joins knowing %d records; downloading in batches of 3...\n", last)
+	waitFor(func() bool {
+		if k := modem.Directory().NumKnown(); k != last {
+			fmt.Printf("  directory: %d/%d records\n", k, n)
+			last = k
+		}
+		return modem.Directory().NumKnown() == n
+	}, "chunked directory download")
+
+	// Delegate the search to a fast proxy.
+	proxy, ok := modem.PickProxy()
+	if !ok {
+		log.Fatal("no proxy found")
+	}
+	waitFor(func() bool {
+		docs, err := modem.SearchVia(proxy, "consensus shard", 5)
+		return err == nil && len(docs) == 5
+	}, "proxy search results")
+	docs, err := modem.SearchVia(proxy, "consensus shard", 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nproxy search via fast peer %d returned %d results over ONE connection:\n",
+		proxy, len(docs))
+	for _, d := range docs {
+		fmt.Printf("  %.3f  peer %d  %s\n", d.Score, d.Peer, d.Key[:12])
+	}
+	// Compare with what a direct search would have cost the modem.
+	_, st := modem.Search("consensus shard", 5)
+	fmt.Printf("\n(a direct search would have contacted %d peers over the modem link)\n",
+		st.PeersContacted)
+}
+
+func waitFor(cond func() bool, what string) {
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+	log.Fatalf("timeout waiting for %s", what)
+}

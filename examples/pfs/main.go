@@ -1,0 +1,131 @@
+// PFS: the personal semantic file system of Section 6. Three users share
+// files from their local disks; each user's namespace is organized by
+// query-defined directories that fill themselves as matching files are
+// published anywhere in the community, via PlanetP's persistent-query
+// upcalls. Directory listings include per-file URLs served by each
+// owner's File Server.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"planetp"
+)
+
+const n = 3
+
+func main() {
+	gossip := planetp.GossipConfig{
+		BaseInterval: 30 * time.Millisecond,
+		MaxInterval:  120 * time.Millisecond,
+		SlowdownStep: 30 * time.Millisecond,
+	}
+	peers := make([]*planetp.Peer, n)
+	mounts := make([]*planetp.FS, n)
+	for i := range peers {
+		p, err := planetp.NewPeer(planetp.Config{
+			ID: planetp.PeerID(i), Capacity: n,
+			Gossip: gossip, Seed: int64(i + 1),
+			BrokerTopFrac: 0.10, BrokerDiscard: 10 * time.Minute,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer p.Stop()
+		peers[i] = p
+		fs, err := planetp.NewFS(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fs.Close()
+		mounts[i] = fs
+	}
+	for _, p := range peers[1:] {
+		if err := p.Join(peers[0].Addr()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, p := range peers {
+		p.Start()
+	}
+	waitConverged(peers)
+
+	// Each user shares some files from a scratch directory.
+	tmp, err := os.MkdirTemp("", "pfs-demo-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+	files := []struct {
+		owner int
+		name  string
+		body  string
+	}{
+		{0, "raft-notes.txt", "consensus log replication leader election terms"},
+		{1, "paxos-draft.txt", "consensus proposal quorum acceptor ballot"},
+		{1, "soup-recipe.txt", "tomato basil onion simmer gently"},
+		{2, "epidemic.txt", "gossip dissemination rumor anti entropy consensus free"},
+	}
+	for _, f := range files {
+		path := filepath.Join(tmp, f.name)
+		if err := os.WriteFile(path, []byte(f.body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := mounts[f.owner].PublishFile(path); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("user %d published %s\n", f.owner, f.name)
+	}
+
+	// User 0 creates a semantic directory for "consensus"; it fills with
+	// everyone's matching files, then is refined to a subdirectory.
+	dir := mounts[0].MkDir("consensus")
+	waitFor(func() bool { return dir.Len() >= 3 }, "consensus directory to fill")
+	fmt.Println("\n~/consensus:")
+	for _, e := range dir.Open() {
+		fmt.Printf("  %-18s (peer %d)  %s\n", e.Name, e.Peer, e.URL)
+	}
+
+	sub := dir.Refine("quorum")
+	waitFor(func() bool { return sub.Len() >= 1 }, "refined directory")
+	fmt.Println("\n~/consensus/quorum:")
+	for _, e := range sub.Open() {
+		fmt.Printf("  %-18s (peer %d)\n", e.Name, e.Peer)
+		// Fetch the file's content through the owner's File Server.
+		resp, err := http.Get(e.URL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		fmt.Printf("    content: %s\n", body)
+	}
+}
+
+func waitFor(cond func() bool, what string) {
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	log.Fatalf("timeout waiting for %s", what)
+}
+
+func waitConverged(peers []*planetp.Peer) {
+	waitFor(func() bool {
+		for _, p := range peers {
+			if p.Directory().NumKnown() != len(peers) {
+				return false
+			}
+		}
+		return true
+	}, "membership convergence")
+}

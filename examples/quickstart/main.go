@@ -1,0 +1,104 @@
+// Quickstart: an eight-peer PlanetP community on TCP loopback. Peers
+// publish documents, gossip their Bloom-filter summaries to convergence,
+// and answer ranked content searches from any member — no central index
+// anywhere.
+//
+// Gossip intervals are shrunk from the paper's 30 s to 30 ms so the demo
+// finishes in seconds; the protocol is otherwise exactly the deployed one.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"planetp"
+)
+
+const n = 8
+
+func main() {
+	// Build the community: peer 0 is the bootstrap contact.
+	gossip := planetp.GossipConfig{
+		BaseInterval: 30 * time.Millisecond,
+		MaxInterval:  120 * time.Millisecond,
+		SlowdownStep: 30 * time.Millisecond,
+	}
+	peers := make([]*planetp.Peer, n)
+	for i := range peers {
+		p, err := planetp.NewPeer(planetp.Config{
+			ID: planetp.PeerID(i), Capacity: n,
+			Gossip: gossip, Seed: int64(i + 1),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer p.Stop()
+		peers[i] = p
+	}
+	for _, p := range peers[1:] {
+		if err := p.Join(peers[0].Addr()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, p := range peers {
+		p.Start()
+	}
+
+	// Each peer shares one document.
+	docs := []string{
+		`<paper title="epidemics">epidemic algorithms for replicated database maintenance</paper>`,
+		`<paper title="bloom">space time tradeoffs in hash coding with allowable errors</paper>`,
+		`<paper title="chord">a scalable peer to peer lookup service for internet applications</paper>`,
+		`<paper title="gloss">text source discovery over the internet with gloss</paper>`,
+		`<paper title="bayou">managing update conflicts in bayou a weakly connected replicated storage system</paper>`,
+		`<paper title="chash">consistent hashing and random trees for relieving hot spots</paper>`,
+		`<paper title="vector">a vector space model for automatic indexing and retrieval</paper>`,
+		`<paper title="semantic">semantic file systems for content based access</paper>`,
+	}
+	for i, p := range peers {
+		if _, err := p.Publish(docs[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Wait for the gossip to replicate every directory everywhere.
+	waitConverged(peers)
+	fmt.Printf("community of %d peers converged; every peer holds %d directory entries\n",
+		n, peers[0].Directory().NumKnown())
+
+	// Any peer can now search the whole communal store.
+	for _, query := range []string{"replicated database", "peer to peer lookup", "vector space retrieval"} {
+		results, stats := peers[7].Search(query, 3)
+		fmt.Printf("\npeer 7 searches %q (contacted %d/%d peers):\n",
+			query, stats.PeersContacted, stats.PeersRanked)
+		for _, r := range results {
+			xml, err := peers[7].FetchDocument(r.Peer, r.Key)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %.3f  peer %d: %.60s...\n", r.Score, r.Peer, xml)
+		}
+	}
+}
+
+// waitConverged polls until every peer knows every record.
+func waitConverged(peers []*planetp.Peer) {
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for _, p := range peers {
+			if p.Directory().NumKnown() != len(peers) {
+				done = false
+				break
+			}
+		}
+		if done {
+			// One more beat so the last Bloom filters land too.
+			time.Sleep(300 * time.Millisecond)
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	log.Fatal("community did not converge")
+}

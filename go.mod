@@ -1,0 +1,3 @@
+module planetp
+
+go 1.22

@@ -1,0 +1,131 @@
+package bloom
+
+import (
+	"math"
+)
+
+// Counting is a counting Bloom filter: each position holds a small
+// counter instead of a bit, so keys can be removed. PlanetP peers use one
+// locally to track their own index contents under document removal — the
+// gossiped filter remains a plain Filter (4-bit counters would quadruple
+// the wire size for no query benefit), but the counting twin makes it
+// cheap to know exactly which bits a rebuild would clear and when a
+// rebuild is worthwhile.
+//
+// Counters are 8-bit with saturation: a counter that reaches 255 sticks
+// there (removals of saturated positions are ignored), trading exactness
+// in pathological cases for never under-counting — the filter stays a
+// superset of the true set, preserving no-false-negatives.
+type Counting struct {
+	counts []uint8
+	nbits  uint64
+	nhash  uint32
+	nkeys  int
+}
+
+// NewCounting returns a counting filter with the given geometry.
+func NewCounting(nbits, nhash int) *Counting {
+	if nbits <= 0 || nhash <= 0 {
+		panic("bloom: invalid counting-filter geometry")
+	}
+	return &Counting{
+		counts: make([]uint8, nbits),
+		nbits:  uint64(nbits),
+		nhash:  uint32(nhash),
+	}
+}
+
+// DefaultCounting returns a counting filter with the paper's default
+// geometry.
+func DefaultCounting() *Counting { return NewCounting(DefaultBits, DefaultHashes) }
+
+// NumBits returns the filter's position count.
+func (c *Counting) NumBits() int { return int(c.nbits) }
+
+// Keys returns the net number of Add calls minus successful Remove calls.
+func (c *Counting) Keys() int { return c.nkeys }
+
+// indexes computes the hash positions for key.
+func (c *Counting) indexes(key string, dst []uint64) []uint64 {
+	h1, h2 := hashPair(key)
+	for i := uint32(0); i < c.nhash; i++ {
+		dst = append(dst, (h1+uint64(i)*h2)%c.nbits)
+	}
+	return dst
+}
+
+// Add inserts one occurrence of key.
+func (c *Counting) Add(key string) {
+	var buf [16]uint64
+	for _, p := range c.indexes(key, buf[:0]) {
+		if c.counts[p] < math.MaxUint8 {
+			c.counts[p]++
+		}
+	}
+	c.nkeys++
+}
+
+// Remove deletes one occurrence of key. Callers must only remove keys
+// they previously Added (the standard counting-filter contract): removing
+// a never-added key that happens to test positive would decrement
+// counters belonging to other keys. As a best-effort guard, Remove
+// reports false (and does nothing) when key tests absent.
+func (c *Counting) Remove(key string) bool {
+	var buf [16]uint64
+	idx := c.indexes(key, buf[:0])
+	for _, p := range idx {
+		if c.counts[p] == 0 {
+			return false
+		}
+	}
+	for _, p := range idx {
+		if c.counts[p] < math.MaxUint8 {
+			c.counts[p]--
+		}
+	}
+	c.nkeys--
+	return true
+}
+
+// Contains reports whether key may be present.
+func (c *Counting) Contains(key string) bool {
+	var buf [16]uint64
+	for _, p := range c.indexes(key, buf[:0]) {
+		if c.counts[p] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ToFilter renders the current occupancy as a plain gossipable Filter
+// with the same geometry.
+func (c *Counting) ToFilter() *Filter {
+	f := New(int(c.nbits), int(c.nhash))
+	for p, cnt := range c.counts {
+		if cnt > 0 {
+			f.setBit(uint64(p))
+		}
+	}
+	if c.nkeys > 0 {
+		f.nkeys = uint64(c.nkeys)
+	}
+	return f
+}
+
+// StaleBits reports how many positions are set in stale (a previously
+// gossiped plain filter) but clear here — i.e. how many bits a rebuild
+// would clean. The fraction StaleBits/SetBits is the natural trigger for
+// republishing a compacted filter.
+func (c *Counting) StaleBits(stale *Filter) (int, error) {
+	if uint64(stale.NumBits()) != c.nbits || uint32(stale.NumHashes()) != c.nhash {
+		return 0, ErrIncompatible
+	}
+	n := 0
+	for _, p := range stale.Positions() {
+		if c.counts[p] == 0 {
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,166 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountingAddRemoveContains(t *testing.T) {
+	c := NewCounting(1<<14, 3)
+	c.Add("alpha")
+	c.Add("beta")
+	if !c.Contains("alpha") || !c.Contains("beta") {
+		t.Fatal("false negative")
+	}
+	if !c.Remove("alpha") {
+		t.Fatal("remove failed")
+	}
+	if c.Contains("alpha") {
+		t.Fatal("removed key still present (and no colliding keys exist)")
+	}
+	if !c.Contains("beta") {
+		t.Fatal("removal corrupted sibling key")
+	}
+	if c.Keys() != 1 {
+		t.Fatalf("Keys = %d", c.Keys())
+	}
+}
+
+func TestCountingRemoveAbsent(t *testing.T) {
+	c := NewCounting(1<<12, 2)
+	if c.Remove("never-added") {
+		t.Fatal("removing absent key succeeded")
+	}
+	c.Add("x")
+	if c.Remove("definitely-absent-key-zzz") {
+		// Could be a false positive of the filter, but at this fill
+		// level it is effectively impossible.
+		t.Fatal("removing absent key succeeded at near-zero fill")
+	}
+}
+
+func TestCountingMultiset(t *testing.T) {
+	c := NewCounting(1<<12, 2)
+	c.Add("dup")
+	c.Add("dup")
+	c.Remove("dup")
+	if !c.Contains("dup") {
+		t.Fatal("one occurrence should remain")
+	}
+	c.Remove("dup")
+	if c.Contains("dup") {
+		t.Fatal("all occurrences removed; key should be gone")
+	}
+}
+
+func TestCountingToFilter(t *testing.T) {
+	c := DefaultCounting()
+	keys := keys(500, "cf")
+	for _, k := range keys {
+		c.Add(k)
+	}
+	f := c.ToFilter()
+	for _, k := range keys {
+		if !f.Contains(k) {
+			t.Fatalf("rendered filter missing %q", k)
+		}
+	}
+	// Remove half; re-render; removed keys gone, survivors intact.
+	for i, k := range keys {
+		if i%2 == 0 {
+			c.Remove(k)
+		}
+	}
+	f2 := c.ToFilter()
+	for i, k := range keys {
+		if i%2 == 1 && !f2.Contains(k) {
+			t.Fatalf("survivor %q lost", k)
+		}
+	}
+	if f2.SetBits() >= f.SetBits() {
+		t.Fatal("rebuild did not shrink the filter")
+	}
+}
+
+func TestCountingStaleBits(t *testing.T) {
+	c := DefaultCounting()
+	ks := keys(400, "sb")
+	for _, k := range ks {
+		c.Add(k)
+	}
+	gossiped := c.ToFilter() // what the community currently has
+	// No removals yet: nothing stale.
+	if n, err := c.StaleBits(gossiped); err != nil || n != 0 {
+		t.Fatalf("stale = %d, %v", n, err)
+	}
+	for i, k := range ks {
+		if i < 200 {
+			c.Remove(k)
+		}
+	}
+	n, err := c.StaleBits(gossiped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("removals produced no stale bits")
+	}
+	if n > gossiped.SetBits()/2+50 {
+		t.Fatalf("stale bits %d exceed plausible bound", n)
+	}
+	// Geometry mismatch is rejected.
+	if _, err := c.StaleBits(New(64, 2)); err != ErrIncompatible {
+		t.Fatalf("want ErrIncompatible, got %v", err)
+	}
+}
+
+func TestCountingSaturation(t *testing.T) {
+	c := NewCounting(8, 1) // tiny: forced collisions
+	for i := 0; i < 300; i++ {
+		c.Add(fmt.Sprintf("k%d", i))
+	}
+	// All counters saturated or near; removals must not underflow or
+	// create false negatives for keys never removed.
+	c.Remove("k0")
+	for i := 1; i < 300; i++ {
+		if !c.Contains(fmt.Sprintf("k%d", i)) {
+			t.Fatalf("saturated filter produced false negative for k%d", i)
+		}
+	}
+}
+
+// Property: under the counting-filter contract (only remove keys you
+// added), present keys never produce a false negative.
+func TestQuickCountingNoFalseNegatives(t *testing.T) {
+	f := func(ops []struct {
+		Key uint8
+		Del bool
+	}) bool {
+		c := NewCounting(1<<12, 2)
+		net := map[string]int{}
+		for _, op := range ops {
+			k := fmt.Sprintf("key-%d", op.Key)
+			if op.Del {
+				if net[k] > 0 { // honor the contract
+					if !c.Remove(k) {
+						return false // present key must be removable
+					}
+					net[k]--
+				}
+			} else {
+				c.Add(k)
+				net[k]++
+			}
+		}
+		for k, n := range net {
+			if n > 0 && !c.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,317 @@
+// Package broker implements PlanetP's information brokerage service
+// (Section 4): an optional, best-effort publish/locate layer used to make
+// brand-new content findable before Bloom-filter gossip catches up.
+// Information is published as an XML snippet with a set of associated keys
+// and a discard time; the network of brokers partitions the key space with
+// consistent hashing; snippets are discarded when their time expires. The
+// service makes no durability guarantee — if a broker leaves abruptly, its
+// snippets are lost (the paper's explicit design point).
+package broker
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"planetp/internal/chash"
+)
+
+// Snippet is a published unit: an XML fragment advertised under keys.
+type Snippet struct {
+	// ID identifies the snippet (typically the content hash of XML).
+	ID string
+	// Owner is the publishing peer (so a consumer can fetch the full
+	// document from its holder).
+	Owner int32
+	// XML is the published fragment.
+	XML string
+	// Keys are the terms the snippet is advertised under.
+	Keys []string
+}
+
+// HasKey reports whether the snippet was advertised under key.
+func (s Snippet) HasKey(key string) bool {
+	for _, k := range s.Keys {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// HasAllKeys reports whether the snippet covers every key (conjunctive
+// query semantics).
+func (s Snippet) HasAllKeys(keys []string) bool {
+	for _, k := range keys {
+		if !s.HasKey(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// entry is a stored snippet with its expiry.
+type entry struct {
+	sn      Snippet
+	expires time.Duration
+}
+
+// Watch is a persistent-query registration at a broker: fn fires when a
+// newly published snippet contains all keys.
+type Watch struct {
+	Keys []string
+	Fn   func(Snippet)
+}
+
+// Broker is one member's brokerage store: the snippets whose keys hash
+// into the arcs this member owns. Thread-safe.
+type Broker struct {
+	mu      sync.Mutex
+	clock   func() time.Duration
+	byKey   map[string][]entry
+	watches []*Watch
+	// Stored counts live entries for diagnostics.
+	puts, expired int
+}
+
+// NewBroker returns a broker using clock for expiry decisions (virtual
+// time in simulation, monotonic elapsed time live).
+func NewBroker(clock func() time.Duration) *Broker {
+	return &Broker{clock: clock, byKey: make(map[string][]entry)}
+}
+
+// Put stores sn under key until the discard time elapses.
+func (b *Broker) Put(key string, sn Snippet, discard time.Duration) {
+	now := b.clock()
+	b.mu.Lock()
+	b.byKey[key] = append(b.byKey[key], entry{sn: sn, expires: now + discard})
+	b.puts++
+	var fire []*Watch
+	for _, w := range b.watches {
+		if sn.HasAllKeys(w.Keys) {
+			fire = append(fire, w)
+		}
+	}
+	b.mu.Unlock()
+	for _, w := range fire {
+		w.Fn(sn)
+	}
+}
+
+// Get returns the live snippets stored under key.
+func (b *Broker) Get(key string) []Snippet {
+	now := b.clock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	entries := b.byKey[key]
+	out := make([]Snippet, 0, len(entries))
+	live := entries[:0]
+	for _, e := range entries {
+		if e.expires > now {
+			out = append(out, e.sn)
+			live = append(live, e)
+		} else {
+			b.expired++
+		}
+	}
+	if len(live) == 0 {
+		delete(b.byKey, key)
+	} else {
+		b.byKey[key] = live
+	}
+	return out
+}
+
+// Sweep drops every expired entry, returning how many were discarded.
+func (b *Broker) Sweep() int {
+	now := b.clock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for key, entries := range b.byKey {
+		live := entries[:0]
+		for _, e := range entries {
+			if e.expires > now {
+				live = append(live, e)
+			} else {
+				n++
+			}
+		}
+		if len(live) == 0 {
+			delete(b.byKey, key)
+		} else {
+			b.byKey[key] = live
+		}
+	}
+	b.expired += n
+	return n
+}
+
+// Stored is one exported broker entry (for handoff on graceful leave).
+type Stored struct {
+	Key     string
+	Sn      Snippet
+	Expires time.Duration
+}
+
+// Export drains the broker's live entries, returning them for handoff.
+// The broker is left empty. Watches are not exported (watchers re-register
+// through their own maintenance; the service is best-effort).
+func (b *Broker) Export() []Stored {
+	now := b.clock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []Stored
+	for key, entries := range b.byKey {
+		for _, e := range entries {
+			if e.expires > now {
+				out = append(out, Stored{Key: key, Sn: e.sn, Expires: e.expires})
+			}
+		}
+		delete(b.byKey, key)
+	}
+	return out
+}
+
+// PutUntil stores sn under key with an absolute expiry (handoff import).
+func (b *Broker) PutUntil(key string, sn Snippet, expires time.Duration) {
+	if expires <= b.clock() {
+		return
+	}
+	b.mu.Lock()
+	b.byKey[key] = append(b.byKey[key], entry{sn: sn, expires: expires})
+	b.puts++
+	b.mu.Unlock()
+}
+
+// Len returns the number of live (unswept) entries.
+func (b *Broker) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, entries := range b.byKey {
+		n += len(entries)
+	}
+	return n
+}
+
+// AddWatch registers a persistent query at this broker.
+func (b *Broker) AddWatch(w *Watch) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.watches = append(b.watches, w)
+}
+
+// RemoveWatch unregisters w.
+func (b *Broker) RemoveWatch(w *Watch) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, x := range b.watches {
+		if x == w {
+			b.watches = append(b.watches[:i], b.watches[i+1:]...)
+			return
+		}
+	}
+}
+
+// Service is the community-wide brokerage: a consistent-hashing ring of
+// Brokers plus the client operations (publish, search, subscribe). In a
+// live deployment each Broker sits on a different peer and calls travel
+// over the transport; the Service abstraction is the same either way.
+type Service struct {
+	ring *chash.Ring[*Broker]
+}
+
+// NewService returns an empty brokerage.
+func NewService() *Service {
+	return &Service{ring: chash.NewRing[*Broker]()}
+}
+
+// Join adds a member's broker under its ring id, rehashing on collision.
+func (s *Service) Join(name string, b *Broker) uint32 {
+	id := chash.IDForMember(name)
+	for !s.ring.Join(id, b) {
+		id = (id + 1) % chash.MaxID
+	}
+	return id
+}
+
+// Leave removes a member's broker; its snippets are lost (the paper's
+// no-safety property for abrupt departures).
+func (s *Service) Leave(id uint32) bool { return s.ring.Leave(id) }
+
+// LeaveGraceful removes a member's broker after handing its live snippets
+// to their new owners — the cooperative-departure protocol of the
+// companion technical report (DCS-TR-465): a member that signs off
+// cleanly passes on its portion of the published data, so only abrupt
+// departures lose information.
+func (s *Service) LeaveGraceful(id uint32, b *Broker) bool {
+	entries := b.Export()
+	if !s.ring.Leave(id) {
+		return false
+	}
+	for _, st := range entries {
+		if _, owner, ok := s.ring.Lookup(st.Key); ok {
+			owner.PutUntil(st.Key, st.Sn, st.Expires)
+		}
+	}
+	return true
+}
+
+// Members returns the current broker count.
+func (s *Service) Members() int { return s.ring.Len() }
+
+// Publish stores sn under each of its keys at the owning brokers.
+func (s *Service) Publish(sn Snippet, discard time.Duration) int {
+	stored := 0
+	for _, key := range sn.Keys {
+		if _, b, ok := s.ring.Lookup(key); ok {
+			b.Put(key, sn, discard)
+			stored++
+		}
+	}
+	return stored
+}
+
+// Search returns the live snippets containing all keys, deduplicated by
+// snippet ID and sorted by ID for determinism.
+func (s *Service) Search(keys []string) []Snippet {
+	if len(keys) == 0 {
+		return nil
+	}
+	seen := make(map[string]Snippet)
+	for _, key := range keys {
+		_, b, ok := s.ring.Lookup(key)
+		if !ok {
+			continue
+		}
+		for _, sn := range b.Get(key) {
+			if sn.HasAllKeys(keys) {
+				seen[sn.ID] = sn
+			}
+		}
+	}
+	out := make([]Snippet, 0, len(seen))
+	for _, sn := range seen {
+		out = append(out, sn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Subscribe registers a persistent query: fn fires whenever a snippet
+// containing all keys is published. The watch lives at the broker owning
+// the first key (best-effort, like the service itself). It returns a
+// cancel function.
+func (s *Service) Subscribe(keys []string, fn func(Snippet)) (cancel func()) {
+	if len(keys) == 0 {
+		return func() {}
+	}
+	_, b, ok := s.ring.Lookup(keys[0])
+	if !ok {
+		return func() {}
+	}
+	w := &Watch{Keys: keys, Fn: fn}
+	b.AddWatch(w)
+	return func() { b.RemoveWatch(w) }
+}

@@ -1,0 +1,162 @@
+// Package chash implements the consistent-hashing ring PlanetP's
+// information brokerage service uses to partition the key space among
+// brokers (Section 4): each active member chooses a unique broker ID from
+// a predetermined range [0, maxID); members arrange themselves into a ring
+// by ID; a key maps to the broker whose ID is the least successor of
+// H(key) mod maxID on the ring.
+package chash
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"sort"
+	"sync"
+)
+
+// MaxID is the predetermined ID range (0 to maxID).
+const MaxID = uint32(1) << 31
+
+// Hash maps a key into the ID space.
+func Hash(key string) uint32 {
+	sum := sha1.Sum([]byte(key))
+	return binary.BigEndian.Uint32(sum[:4]) % MaxID
+}
+
+// IDForMember derives a stable broker ID for a member name (used when
+// members do not pick IDs explicitly).
+func IDForMember(name string) uint32 {
+	sum := sha1.Sum([]byte("broker:" + name))
+	return binary.BigEndian.Uint32(sum[4:8]) % MaxID
+}
+
+// Ring is a thread-safe consistent-hashing ring mapping IDs to opaque
+// member values.
+type Ring[V any] struct {
+	mu      sync.RWMutex
+	ids     []uint32 // sorted
+	members map[uint32]V
+}
+
+// NewRing returns an empty ring.
+func NewRing[V any]() *Ring[V] {
+	return &Ring[V]{members: make(map[uint32]V)}
+}
+
+// Join adds a member under id, returning false if the id is taken (the
+// paper requires unique broker IDs; callers should rehash on collision).
+func (r *Ring[V]) Join(id uint32, v V) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.members[id]; exists {
+		return false
+	}
+	r.members[id] = v
+	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= id })
+	r.ids = append(r.ids, 0)
+	copy(r.ids[i+1:], r.ids[i:])
+	r.ids[i] = id
+	return true
+}
+
+// Leave removes a member, reporting whether it was present.
+func (r *Ring[V]) Leave(id uint32) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.members[id]; !exists {
+		return false
+	}
+	delete(r.members, id)
+	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= id })
+	r.ids = append(r.ids[:i], r.ids[i+1:]...)
+	return true
+}
+
+// Len returns the member count.
+func (r *Ring[V]) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.ids)
+}
+
+// successorIndex returns the index of the least id >= h, wrapping.
+func (r *Ring[V]) successorIndex(h uint32) (int, bool) {
+	if len(r.ids) == 0 {
+		return 0, false
+	}
+	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= h })
+	if i == len(r.ids) {
+		i = 0 // wrap to the smallest id
+	}
+	return i, true
+}
+
+// Successor returns the member owning hash value h (its least successor
+// on the ring).
+func (r *Ring[V]) Successor(h uint32) (id uint32, v V, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	i, ok := r.successorIndex(h)
+	if !ok {
+		var zero V
+		return 0, zero, false
+	}
+	id = r.ids[i]
+	return id, r.members[id], true
+}
+
+// Lookup maps a key to its broker.
+func (r *Ring[V]) Lookup(key string) (id uint32, v V, ok bool) {
+	return r.Successor(Hash(key))
+}
+
+// Successors returns up to n distinct members starting at the owner of h
+// (used for replication of brokered snippets).
+func (r *Ring[V]) Successors(h uint32, n int) []V {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	i, ok := r.successorIndex(h)
+	if !ok {
+		return nil
+	}
+	if n > len(r.ids) {
+		n = len(r.ids)
+	}
+	out := make([]V, 0, n)
+	for k := 0; k < n; k++ {
+		out = append(out, r.members[r.ids[(i+k)%len(r.ids)]])
+	}
+	return out
+}
+
+// Range returns the half-open arc (pred, id] owned by member id, i.e. the
+// hash values it is responsible for. wrapped reports whether the arc wraps
+// through 0. ok is false if id is not a member.
+func (r *Ring[V]) Range(id uint32) (lo, hi uint32, wrapped, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if _, exists := r.members[id]; !exists {
+		return 0, 0, false, false
+	}
+	if len(r.ids) == 1 {
+		// Sole member owns everything.
+		return id + 1, id, true, true
+	}
+	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= id })
+	pred := r.ids[(i-1+len(r.ids))%len(r.ids)]
+	lo = pred + 1
+	hi = id
+	return lo, hi, pred > id, true
+}
+
+// Owns reports whether member id owns hash value h.
+func (r *Ring[V]) Owns(id uint32, h uint32) bool {
+	oid, _, ok := r.Successor(h)
+	return ok && oid == id
+}
+
+// IDs returns the sorted member ids (a copy).
+func (r *Ring[V]) IDs() []uint32 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]uint32(nil), r.ids...)
+}

@@ -1,0 +1,191 @@
+package chash
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashStableAndInRange(t *testing.T) {
+	if Hash("x") != Hash("x") {
+		t.Fatal("hash not deterministic")
+	}
+	if Hash("x") == Hash("y") && Hash("a") == Hash("b") {
+		t.Fatal("suspiciously colliding hash")
+	}
+	for _, k := range []string{"", "a", "planetp", "key with spaces"} {
+		if Hash(k) >= MaxID {
+			t.Fatalf("Hash(%q) out of range", k)
+		}
+		if IDForMember(k) >= MaxID {
+			t.Fatalf("IDForMember(%q) out of range", k)
+		}
+	}
+}
+
+func TestJoinLeaveLen(t *testing.T) {
+	r := NewRing[string]()
+	if r.Len() != 0 {
+		t.Fatal("fresh ring not empty")
+	}
+	if !r.Join(10, "a") || !r.Join(20, "b") {
+		t.Fatal("join failed")
+	}
+	if r.Join(10, "dup") {
+		t.Fatal("duplicate id accepted")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if !r.Leave(10) || r.Leave(10) {
+		t.Fatal("leave semantics broken")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len after leave = %d", r.Len())
+	}
+}
+
+func TestSuccessorLeastSuccessorSemantics(t *testing.T) {
+	r := NewRing[string]()
+	r.Join(100, "a")
+	r.Join(200, "b")
+	r.Join(300, "c")
+	cases := map[uint32]string{
+		0: "a", 100: "a", 101: "b", 200: "b", 250: "c", 300: "c",
+		301:       "a", // wraps
+		MaxID - 1: "a",
+	}
+	for h, want := range cases {
+		_, v, ok := r.Successor(h)
+		if !ok || v != want {
+			t.Errorf("Successor(%d) = %q,%v want %q", h, v, ok, want)
+		}
+	}
+}
+
+func TestSuccessorEmpty(t *testing.T) {
+	r := NewRing[int]()
+	if _, _, ok := r.Successor(5); ok {
+		t.Fatal("empty ring returned a successor")
+	}
+	if _, _, ok := r.Lookup("k"); ok {
+		t.Fatal("empty ring lookup succeeded")
+	}
+	if r.Successors(1, 3) != nil {
+		t.Fatal("empty ring successors")
+	}
+}
+
+func TestSuccessorsReplicas(t *testing.T) {
+	r := NewRing[string]()
+	r.Join(100, "a")
+	r.Join(200, "b")
+	r.Join(300, "c")
+	got := r.Successors(150, 2)
+	if len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Fatalf("Successors = %v", got)
+	}
+	// n larger than membership is clamped and wraps.
+	got = r.Successors(250, 5)
+	if len(got) != 3 || got[0] != "c" || got[1] != "a" || got[2] != "b" {
+		t.Fatalf("clamped Successors = %v", got)
+	}
+}
+
+func TestRangeAndOwns(t *testing.T) {
+	r := NewRing[string]()
+	r.Join(100, "a")
+	r.Join(200, "b")
+	lo, hi, wrapped, ok := r.Range(200)
+	if !ok || lo != 101 || hi != 200 || wrapped {
+		t.Fatalf("Range(200) = %d %d %v %v", lo, hi, wrapped, ok)
+	}
+	lo, hi, wrapped, ok = r.Range(100)
+	if !ok || lo != 201 || hi != 100 || !wrapped {
+		t.Fatalf("Range(100) = %d %d %v %v", lo, hi, wrapped, ok)
+	}
+	if _, _, _, ok := r.Range(999); ok {
+		t.Fatal("Range of non-member succeeded")
+	}
+	if !r.Owns(200, 150) || r.Owns(100, 150) {
+		t.Fatal("Owns inconsistent with Successor")
+	}
+	// Single member owns the whole space.
+	solo := NewRing[string]()
+	solo.Join(42, "x")
+	if _, _, wrapped, ok := solo.Range(42); !ok || !wrapped {
+		t.Fatal("solo range should wrap")
+	}
+	if !solo.Owns(42, 0) || !solo.Owns(42, MaxID-1) {
+		t.Fatal("solo member must own everything")
+	}
+}
+
+func TestIDsSorted(t *testing.T) {
+	r := NewRing[int]()
+	for _, id := range []uint32{500, 10, 300, 200} {
+		r.Join(id, 0)
+	}
+	ids := r.IDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i] < ids[i-1] {
+			t.Fatalf("ids not sorted: %v", ids)
+		}
+	}
+}
+
+func TestDistributionRoughlyBalanced(t *testing.T) {
+	r := NewRing[int]()
+	const members = 64
+	for i := 0; i < members; i++ {
+		r.Join(IDForMember(fmt.Sprintf("m%d", i)), i)
+	}
+	counts := make(map[int]int)
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		_, m, _ := r.Lookup(fmt.Sprintf("key-%d", i))
+		counts[m]++
+	}
+	// No member should own an egregious share (consistent hashing with
+	// one virtual node per member is uneven, but bounded in practice).
+	for m, c := range counts {
+		if c > keys/4 {
+			t.Fatalf("member %d owns %d/%d keys", m, c, keys)
+		}
+	}
+}
+
+// Property: every hash value has exactly one owner, and removing that
+// owner moves only its keys (the consistent-hashing property).
+func TestQuickConsistency(t *testing.T) {
+	f := func(idsRaw []uint16, probe uint32) bool {
+		if len(idsRaw) == 0 {
+			return true
+		}
+		r := NewRing[uint32]()
+		for _, raw := range idsRaw {
+			r.Join(uint32(raw), uint32(raw))
+		}
+		h := probe % MaxID
+		owner1, _, ok := r.Successor(h)
+		if !ok {
+			return false
+		}
+		// Remove a non-owner: the owner must not change.
+		for _, raw := range idsRaw {
+			id := uint32(raw)
+			if id != owner1 {
+				r.Leave(id)
+				owner2, _, ok := r.Successor(h)
+				if !ok || owner2 != owner1 {
+					return false
+				}
+				r.Join(id, id)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

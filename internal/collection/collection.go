@@ -1,0 +1,254 @@
+// Package collection generates synthetic benchmark document collections
+// standing in for the Smart/TREC collections of Table 3 (CACM, MED, CRAN,
+// CISI, AP89), which are not redistributable. Each collection is drawn
+// from a topic model: a Zipf-distributed background vocabulary plus
+// per-topic term distributions; a query samples terms from one topic and
+// its relevance judgments are exactly the documents generated from that
+// topic. This preserves what the paper's evaluation depends on — skewed
+// term statistics, co-occurring discriminative terms, and ground-truth
+// relevance — while matching Table 3's document/vocabulary/query counts.
+package collection
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Doc is one generated document.
+type Doc struct {
+	// Freqs maps term -> occurrences.
+	Freqs map[string]int
+	// Len is the total token count (|D|).
+	Len int
+	// Topic is the generating topic (ground truth; -1 for pure
+	// background documents).
+	Topic int
+}
+
+// Query is a generated query with its relevance judgments.
+type Query struct {
+	// Terms are the (stemmed-form) query terms.
+	Terms []string
+	// Topic is the generating topic.
+	Topic int
+	// Relevant indexes the relevant documents in Collection.Docs.
+	Relevant map[int]bool
+}
+
+// Collection is a generated benchmark collection.
+type Collection struct {
+	Name    string
+	Docs    []Doc
+	Queries []Query
+	Spec    Spec
+}
+
+// Spec parameterizes generation. The named tables below reproduce Table
+// 3's shapes.
+type Spec struct {
+	Name string
+	// NumDocs, VocabSize, NumQueries mirror Table 3 columns.
+	NumDocs    int
+	VocabSize  int
+	NumQueries int
+	// NumTopics controls relevance-set sizes (~NumDocs/NumTopics).
+	NumTopics int
+	// MeanDocLen is the average tokens per document (derived from Table
+	// 3's collection sizes at ~6 bytes/token).
+	MeanDocLen int
+	// TopicTermCount is the number of discriminative terms per topic.
+	TopicTermCount int
+	// TopicMix is the fraction of a topical document's tokens drawn
+	// from its topic distribution (the rest is background Zipf).
+	TopicMix float64
+	// QueryLen is the number of terms per query.
+	QueryLen int
+}
+
+// Specs reproduces Table 3: documents, vocabulary and query counts per
+// collection; mean lengths derived from the reported megabyte sizes.
+var Specs = map[string]Spec{
+	"CACM": {Name: "CACM", NumDocs: 3204, VocabSize: 75493, NumQueries: 52, NumTopics: 64, MeanDocLen: 110, TopicTermCount: 32, TopicMix: 0.35, QueryLen: 4},
+	"MED":  {Name: "MED", NumDocs: 1033, VocabSize: 83451, NumQueries: 30, NumTopics: 30, MeanDocLen: 160, TopicTermCount: 32, TopicMix: 0.35, QueryLen: 4},
+	"CRAN": {Name: "CRAN", NumDocs: 1400, VocabSize: 117718, NumQueries: 152, NumTopics: 70, MeanDocLen: 190, TopicTermCount: 32, TopicMix: 0.35, QueryLen: 4},
+	"CISI": {Name: "CISI", NumDocs: 1460, VocabSize: 84957, NumQueries: 76, NumTopics: 38, MeanDocLen: 270, TopicTermCount: 32, TopicMix: 0.35, QueryLen: 4},
+	"AP89": {Name: "AP89", NumDocs: 84678, VocabSize: 129603, NumQueries: 97, NumTopics: 400, MeanDocLen: 520, TopicTermCount: 48, TopicMix: 0.30, QueryLen: 5},
+}
+
+// ScaledSpec returns a spec shrunk by factor (docs, vocabulary, topics and
+// queries divided; lengths kept), for tests and fast experiment runs.
+func ScaledSpec(name string, factor int) Spec {
+	s := Specs[name]
+	if factor <= 1 {
+		return s
+	}
+	s.Name = fmt.Sprintf("%s/%d", s.Name, factor)
+	s.NumDocs /= factor
+	s.VocabSize /= factor
+	if s.NumTopics > 1 {
+		s.NumTopics /= factor
+		if s.NumTopics < 8 {
+			s.NumTopics = 8
+		}
+	}
+	if s.NumDocs < s.NumTopics*4 {
+		s.NumTopics = s.NumDocs / 4
+	}
+	return s
+}
+
+// term returns the string form of vocabulary index i.
+func term(i int) string { return fmt.Sprintf("w%d", i) }
+
+// Generate builds a collection from spec, deterministically from seed.
+func Generate(spec Spec, seed int64) *Collection {
+	rng := rand.New(rand.NewSource(seed))
+	// Background vocabulary: Zipf over [0, VocabSize). s=1.1 gives the
+	// classic heavy head with a long rare tail (realistic text).
+	zipf := rand.NewZipf(rng, 1.1, 1, uint64(spec.VocabSize-1))
+
+	// Topic terms come from the middle/rare band so they carry IDF
+	// signal. Adjacent topics overlap by half their vocabulary (stride
+	// = count/2): real collections are not cleanly separable, so some
+	// retrieved documents are near-topic rather than relevant — this is
+	// what gives the precision-vs-k falloff of Figure 6a.
+	topicTerms := make([][]int, spec.NumTopics)
+	band := spec.VocabSize / 3 // skip the most common third
+	stride := spec.TopicTermCount / 2
+	if stride < 1 {
+		stride = 1
+	}
+	for k := range topicTerms {
+		tt := make([]int, spec.TopicTermCount)
+		for j := range tt {
+			tt[j] = band + (k*stride+j)%(spec.VocabSize-band)
+		}
+		topicTerms[k] = tt
+	}
+	// Within a topic, term weights fall off geometrically so the head
+	// terms are the topic's signature.
+	topicWeights := make([]float64, spec.TopicTermCount)
+	total := 0.0
+	for j := range topicWeights {
+		topicWeights[j] = 1.0 / float64(j+2)
+		total += topicWeights[j]
+	}
+	cum := make([]float64, spec.TopicTermCount)
+	acc := 0.0
+	for j, w := range topicWeights {
+		acc += w / total
+		cum[j] = acc
+	}
+	sampleTopicTerm := func(k int) int {
+		u := rng.Float64()
+		j := sort.SearchFloat64s(cum, u)
+		if j >= spec.TopicTermCount {
+			j = spec.TopicTermCount - 1
+		}
+		return topicTerms[k][j]
+	}
+
+	col := &Collection{Name: spec.Name, Spec: spec}
+	col.Docs = make([]Doc, spec.NumDocs)
+	topicDocs := make([][]int, spec.NumTopics)
+	for i := range col.Docs {
+		topic := i % spec.NumTopics // even topical coverage
+		// Document length: uniform in [0.5, 1.5) of the mean.
+		length := spec.MeanDocLen/2 + rng.Intn(spec.MeanDocLen)
+		if length < 8 {
+			length = 8
+		}
+		freqs := make(map[string]int, length/2)
+		for t := 0; t < length; t++ {
+			var idx int
+			if rng.Float64() < spec.TopicMix {
+				idx = sampleTopicTerm(topic)
+			} else {
+				idx = int(zipf.Uint64())
+			}
+			freqs[term(idx)]++
+		}
+		col.Docs[i] = Doc{Freqs: freqs, Len: length, Topic: topic}
+		topicDocs[topic] = append(topicDocs[topic], i)
+	}
+
+	col.Queries = make([]Query, spec.NumQueries)
+	for qi := range col.Queries {
+		topic := qi % spec.NumTopics
+		// Query terms: the topic's signature head terms plus one sampled
+		// deeper term, mimicking specific-but-topical user queries.
+		terms := make([]string, 0, spec.QueryLen)
+		seen := map[int]bool{}
+		for len(terms) < spec.QueryLen {
+			var idx int
+			if len(terms) < spec.QueryLen-1 {
+				idx = topicTerms[topic][len(terms)]
+			} else {
+				idx = sampleTopicTerm(topic)
+			}
+			if seen[idx] {
+				idx = sampleTopicTerm(topic)
+			}
+			if seen[idx] {
+				continue
+			}
+			seen[idx] = true
+			terms = append(terms, term(idx))
+		}
+		// Relevance judgments are a strict subset of the topic's
+		// documents — those that actually discuss the query's specific
+		// aspect (contain its sampled deep term). Human judgments on
+		// real collections behave the same way: topical-but-off-aspect
+		// documents are retrieved yet judged non-relevant, which is
+		// what makes precision fall below 1 at small k (Figure 6a).
+		aspect := terms[len(terms)-1]
+		rel := make(map[int]bool)
+		for _, d := range topicDocs[topic] {
+			if col.Docs[d].Freqs[aspect] > 0 {
+				rel[d] = true
+			}
+		}
+		if len(rel) == 0 {
+			// Degenerate tiny collections: fall back to the topic.
+			for _, d := range topicDocs[topic] {
+				rel[d] = true
+			}
+		}
+		col.Queries[qi] = Query{Terms: terms, Topic: topic, Relevant: rel}
+	}
+	return col
+}
+
+// Stats summarizes a collection for the Table 3 report.
+type Stats struct {
+	Name      string
+	Queries   int
+	Documents int
+	// Words is the realized distinct-term count.
+	Words int
+	// SizeMB approximates the raw text size at ~6 bytes/token.
+	SizeMB float64
+}
+
+// Stats computes the collection's Table 3 row.
+func (c *Collection) Stats() Stats {
+	distinct := make(map[string]struct{})
+	tokens := 0
+	for i := range c.Docs {
+		for t := range c.Docs[i].Freqs {
+			distinct[t] = struct{}{}
+		}
+		tokens += c.Docs[i].Len
+	}
+	return Stats{
+		Name: c.Name, Queries: len(c.Queries), Documents: len(c.Docs),
+		Words: len(distinct), SizeMB: float64(tokens) * 6 / 1e6,
+	}
+}
+
+// String renders the Table 3 row.
+func (s Stats) String() string {
+	return fmt.Sprintf("%-8s queries=%-4d docs=%-6d words=%-7d size=%.1fMB",
+		s.Name, s.Queries, s.Documents, s.Words, s.SizeMB)
+}

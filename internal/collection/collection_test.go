@@ -1,0 +1,190 @@
+package collection
+
+import (
+	"testing"
+)
+
+func TestSpecsMatchTable3(t *testing.T) {
+	cases := []struct {
+		name          string
+		queries, docs int
+		words         int
+	}{
+		{"CACM", 52, 3204, 75493},
+		{"MED", 30, 1033, 83451},
+		{"CRAN", 152, 1400, 117718},
+		{"CISI", 76, 1460, 84957},
+		{"AP89", 97, 84678, 129603},
+	}
+	for _, c := range cases {
+		s, ok := Specs[c.name]
+		if !ok {
+			t.Fatalf("missing spec %s", c.name)
+		}
+		if s.NumQueries != c.queries || s.NumDocs != c.docs || s.VocabSize != c.words {
+			t.Errorf("%s: spec %+v does not match Table 3", c.name, s)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := ScaledSpec("CACM", 8)
+	a := Generate(spec, 1)
+	b := Generate(spec, 1)
+	if len(a.Docs) != len(b.Docs) || len(a.Queries) != len(b.Queries) {
+		t.Fatal("shape differs")
+	}
+	for i := range a.Docs {
+		if a.Docs[i].Len != b.Docs[i].Len || a.Docs[i].Topic != b.Docs[i].Topic {
+			t.Fatalf("doc %d differs", i)
+		}
+	}
+	c := Generate(spec, 2)
+	same := true
+	for i := range a.Docs {
+		if a.Docs[i].Len != c.Docs[i].Len {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical collections")
+	}
+}
+
+func TestGeneratedShape(t *testing.T) {
+	spec := ScaledSpec("MED", 4)
+	col := Generate(spec, 3)
+	if len(col.Docs) != spec.NumDocs {
+		t.Fatalf("docs = %d, want %d", len(col.Docs), spec.NumDocs)
+	}
+	if len(col.Queries) != spec.NumQueries {
+		t.Fatalf("queries = %d, want %d", len(col.Queries), spec.NumQueries)
+	}
+	for i, d := range col.Docs {
+		if d.Len < 8 {
+			t.Fatalf("doc %d too short: %d", i, d.Len)
+		}
+		sum := 0
+		for _, f := range d.Freqs {
+			if f <= 0 {
+				t.Fatalf("doc %d has non-positive freq", i)
+			}
+			sum += f
+		}
+		if sum != d.Len {
+			t.Fatalf("doc %d freq sum %d != len %d", i, sum, d.Len)
+		}
+		if d.Topic < 0 || d.Topic >= spec.NumTopics {
+			t.Fatalf("doc %d topic %d out of range", i, d.Topic)
+		}
+	}
+}
+
+func TestQueriesHaveRelevantDocs(t *testing.T) {
+	col := Generate(ScaledSpec("CRAN", 4), 5)
+	for qi, q := range col.Queries {
+		if len(q.Terms) == 0 {
+			t.Fatalf("query %d empty", qi)
+		}
+		if len(q.Relevant) == 0 {
+			t.Fatalf("query %d has no relevant docs", qi)
+		}
+		// Relevance ground truth must agree with topics.
+		for d := range q.Relevant {
+			if col.Docs[d].Topic != q.Topic {
+				t.Fatalf("query %d: doc %d topic mismatch", qi, d)
+			}
+		}
+		// Most relevant docs should actually contain at least one query
+		// term (the topic construction guarantees it statistically).
+		containing := 0
+		for d := range q.Relevant {
+			for _, term := range q.Terms {
+				if col.Docs[d].Freqs[term] > 0 {
+					containing++
+					break
+				}
+			}
+		}
+		if containing*2 < len(q.Relevant) {
+			t.Fatalf("query %d: only %d/%d relevant docs contain query terms",
+				qi, containing, len(q.Relevant))
+		}
+	}
+}
+
+func TestQueryTermsAreDiscriminative(t *testing.T) {
+	col := Generate(ScaledSpec("CACM", 8), 7)
+	// A query's lead term should appear far more often inside its topic
+	// than outside (otherwise TFxIDF has no signal to find).
+	q := col.Queries[0]
+	lead := q.Terms[0]
+	in, out := 0, 0
+	for d := range col.Docs {
+		if col.Docs[d].Freqs[lead] > 0 {
+			if q.Relevant[d] {
+				in++
+			} else {
+				out++
+			}
+		}
+	}
+	if in == 0 {
+		t.Fatal("lead term absent from its own topic")
+	}
+	inRate := float64(in) / float64(len(q.Relevant))
+	outRate := float64(out) / float64(len(col.Docs)-len(q.Relevant))
+	if inRate < 4*outRate {
+		t.Fatalf("lead term not discriminative: in=%.3f out=%.3f", inRate, outRate)
+	}
+}
+
+func TestZipfHeavyHead(t *testing.T) {
+	col := Generate(ScaledSpec("CISI", 4), 9)
+	freq := map[string]int{}
+	total := 0
+	for _, d := range col.Docs {
+		for t, f := range d.Freqs {
+			freq[t] += f
+			total += f
+		}
+	}
+	// The most frequent term should cover a disproportionate share.
+	max := 0
+	for _, f := range freq {
+		if f > max {
+			max = f
+		}
+	}
+	if float64(max)/float64(total) < 0.01 {
+		t.Fatalf("head term share %.4f too flat for Zipf", float64(max)/float64(total))
+	}
+}
+
+func TestStats(t *testing.T) {
+	col := Generate(ScaledSpec("MED", 8), 11)
+	s := col.Stats()
+	if s.Documents != len(col.Docs) || s.Queries != len(col.Queries) {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Words == 0 || s.SizeMB <= 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty row")
+	}
+}
+
+func TestScaledSpec(t *testing.T) {
+	s := ScaledSpec("AP89", 16)
+	if s.NumDocs != Specs["AP89"].NumDocs/16 {
+		t.Fatalf("scaled docs = %d", s.NumDocs)
+	}
+	if s.NumTopics < 8 {
+		t.Fatalf("topics floor violated: %d", s.NumTopics)
+	}
+	if ScaledSpec("CACM", 1).Name != "CACM" {
+		t.Fatal("factor 1 should be identity")
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStaleFractionAndCompact(t *testing.T) {
+	p, err := NewPeer(Config{ID: 0, Capacity: 2, Gossip: fastGossip()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	d1, err := p.Publish(`<a>alpha bravo charlie delta echo foxtrot</a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Publish(`<b>golf hotel india juliett kilo lima</b>`); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.StaleFraction(); got != 0 {
+		t.Fatalf("fresh peer StaleFraction = %v", got)
+	}
+
+	// Removing one of two similar-size docs makes roughly half the
+	// gossiped filter stale.
+	if !p.Remove(d1.ID) {
+		t.Fatal("remove failed")
+	}
+	frac := p.StaleFraction()
+	if frac < 0.3 || frac > 0.7 {
+		t.Fatalf("StaleFraction after removing half the content = %v", frac)
+	}
+	// The bloated filter still claims the removed terms (false
+	// positives by design).
+	if !p.view.Contains(0, "alpha") {
+		t.Fatal("pre-compact filter should still hit removed terms")
+	}
+
+	verBefore := p.node.SelfRecord().Ver
+	cleaned := p.Compact()
+	if cleaned <= 0 {
+		t.Fatalf("Compact cleaned %d bits", cleaned)
+	}
+	if p.StaleFraction() != 0 {
+		t.Fatalf("StaleFraction after Compact = %v", p.StaleFraction())
+	}
+	if p.view.Contains(0, "alpha") {
+		t.Fatal("compacted filter still hits removed term")
+	}
+	if !p.view.Contains(0, "golf") {
+		t.Fatal("compacted filter lost live term")
+	}
+	if !verBefore.Less(p.node.SelfRecord().Ver) {
+		t.Fatal("Compact must gossip a new version")
+	}
+}
+
+func TestCompactPropagatesToCommunity(t *testing.T) {
+	peers := community(t, 3, 0)
+	waitFor(t, 15*time.Second, "membership", func() bool {
+		for _, p := range peers {
+			if p.Directory().NumKnown() != len(peers) {
+				return false
+			}
+		}
+		return true
+	})
+	d, err := peers[1].Publish(`<z>xylophone zephyr quixotic</z>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 15*time.Second, "publication gossip", func() bool {
+		docs, _ := peers[0].Search("xylophone", 2)
+		return len(docs) == 1
+	})
+	peers[1].Remove(d.ID)
+	peers[1].Compact()
+	// After the compacted filter gossips, peer 0's candidate selection
+	// no longer even contacts peer 1 for the dead term.
+	waitFor(t, 15*time.Second, "compaction gossip", func() bool {
+		_, st := peers[0].Search("xylophone", 2)
+		return st.PeersRanked == 0
+	})
+}

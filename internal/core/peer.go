@@ -1,0 +1,568 @@
+// Package core implements the live PlanetP peer: the public object that
+// ties together the local data store and inverted index, the Bloom-filter
+// summary, gossip-based directory replication, the information brokerage,
+// and content search and retrieval (Sections 1-5 of the paper).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"planetp/internal/bloom"
+	"planetp/internal/broker"
+	"planetp/internal/directory"
+	"planetp/internal/doc"
+	"planetp/internal/gossip"
+	"planetp/internal/index"
+	"planetp/internal/search"
+	"planetp/internal/text"
+	"planetp/internal/transport"
+)
+
+// Config describes a live peer.
+type Config struct {
+	// ID is this peer's community id; ids must be unique within the
+	// community and below Capacity.
+	ID directory.PeerID
+	// Name is a human-readable label (also salts the broker ring id).
+	Name string
+	// ListenAddr is the TCP listen address ("" = ephemeral loopback).
+	ListenAddr string
+	// Capacity is the community id-space size.
+	Capacity int
+	// Gossip tunes the protocol; zero fields take paper defaults. Tests
+	// shrink the intervals to milliseconds.
+	Gossip gossip.Config
+	// Class is the peer's connectivity class (for bandwidth-aware
+	// communities).
+	Class directory.Class
+	// Resolver fetches linked external files during indexing (nil =
+	// index snippet text only).
+	Resolver doc.Resolver
+	// Seed makes the peer's randomized choices reproducible.
+	Seed int64
+	// BrokerTopFrac publishes this fraction of a document's most
+	// frequent terms to the brokerage on Publish (PFS uses 0.10); 0
+	// disables dual publication.
+	BrokerTopFrac float64
+	// BrokerDiscard is the snippet discard time for dual publication
+	// (PFS uses 10 minutes).
+	BrokerDiscard time.Duration
+	// StructuredIndex additionally indexes every term scoped by its XML
+	// element ("title:gossip"), enabling tag-restricted queries — the
+	// extension the paper plans in footnote 2. Plain queries behave
+	// identically; the cost is a larger term set per document.
+	StructuredIndex bool
+	// Epoch is this peer's incarnation number (default 1). A peer that
+	// restarts without its previous in-memory state MUST supply a
+	// larger epoch than any it gossiped before — a persisted boot
+	// counter or a timestamp — or the community will reject its
+	// announcements as stale gossip. When Restore is set, the epoch is
+	// taken from the snapshot instead (and bumped automatically).
+	Epoch uint32
+	// Restore rebuilds the peer from a Snapshot (see Peer.Snapshot):
+	// the stored documents are republished and the announced epoch
+	// supersedes the previous incarnation's.
+	Restore []byte
+}
+
+// Peer is a live PlanetP community member.
+type Peer struct {
+	cfg  Config
+	id   directory.PeerID
+	dir  *directory.Directory
+	node *gossip.Node
+	tp   *transport.Transport
+
+	mu          sync.Mutex
+	store       *doc.Store
+	index       *index.Index
+	docOf       map[string]index.DocID // doc key -> local index id
+	filter      *bloom.Filter
+	counting    *bloom.Counting // deletion-aware twin of filter
+	lastGossip  *bloom.Filter   // filter state as of the last Publish gossip
+	broker      *broker.Broker
+	watchers    []remoteWatch
+	registry    *search.Registry
+	view        *dirView
+	userRng     *rand.Rand
+	stopCh      chan struct{}
+	loopDone    chan struct{}
+	started     bool
+	closed      bool
+	searchesRun int
+}
+
+// remoteWatch is a brokerage watch registered by another peer.
+type remoteWatch struct {
+	keys    []string
+	watcher directory.PeerID
+}
+
+// NewPeer constructs (but does not start) a peer.
+func NewPeer(cfg Config) (*Peer, error) {
+	if cfg.Capacity <= 0 {
+		return nil, errors.New("core: Capacity must be positive")
+	}
+	if int(cfg.ID) < 0 || int(cfg.ID) >= cfg.Capacity {
+		return nil, fmt.Errorf("core: ID %d outside capacity %d", cfg.ID, cfg.Capacity)
+	}
+	if cfg.Name == "" {
+		cfg.Name = fmt.Sprintf("peer-%d", cfg.ID)
+	}
+	p := &Peer{
+		cfg:      cfg,
+		id:       cfg.ID,
+		dir:      directory.New(cfg.ID, cfg.Capacity),
+		store:    doc.NewStore(),
+		index:    index.New(),
+		docOf:    make(map[string]index.DocID),
+		filter:   bloom.Default(),
+		counting: bloom.DefaultCounting(),
+		stopCh:   make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	p.lastGossip = p.filter.Clone()
+	p.view = &dirView{p: p}
+	p.registry = search.NewRegistry(p.view, fetcher{p})
+
+	tp, err := transport.New(cfg.ID, cfg.ListenAddr, (*handler)(p), p.resolveAddr, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	p.tp = tp
+	p.broker = broker.NewBroker(tp.Now)
+
+	gcfg := cfg.Gossip
+	userOnNews := gcfg.OnNews
+	gcfg.OnNews = func(rec directory.Record) {
+		p.onNews(rec)
+		if userOnNews != nil {
+			userOnNews(rec)
+		}
+	}
+	epoch := max32(1, cfg.Epoch)
+	var snap Snapshot
+	haveSnap := false
+	if cfg.Restore != nil {
+		var err error
+		snap, err = DecodeSnapshot(cfg.Restore)
+		if err != nil {
+			tp.Close()
+			return nil, err
+		}
+		// The restored incarnation supersedes the one that wrote the
+		// snapshot.
+		epoch = max32(epoch, snap.Epoch+1)
+		haveSnap = true
+	}
+	self := directory.Record{
+		ID: cfg.ID, Class: cfg.Class, Addr: tp.Addr(),
+		Ver:     directory.Version{Epoch: epoch},
+		Payload: p.filter.Compress(),
+	}
+	self.PayloadSize = int32(len(self.Payload))
+	p.node = gossip.NewNode(self, p.dir, gcfg, tp)
+	if haveSnap {
+		if err := p.restore(snap); err != nil {
+			tp.Close()
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// ID returns the peer's community id.
+func (p *Peer) ID() directory.PeerID { return p.id }
+
+// Name returns the peer's label.
+func (p *Peer) Name() string { return p.cfg.Name }
+
+// Addr returns the peer's listen address.
+func (p *Peer) Addr() string { return p.tp.Addr() }
+
+// Directory exposes the peer's directory replica (read-mostly).
+func (p *Peer) Directory() *directory.Directory { return p.dir }
+
+// Node exposes the gossip engine (stats, interval).
+func (p *Peer) Node() *gossip.Node { return p.node }
+
+// Start launches the gossip loop.
+func (p *Peer) Start() {
+	p.mu.Lock()
+	if p.started || p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.started = true
+	p.mu.Unlock()
+	go p.gossipLoop()
+}
+
+// Stop shuts the peer down.
+func (p *Peer) Stop() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	started := p.started
+	p.mu.Unlock()
+	close(p.stopCh)
+	if started {
+		<-p.loopDone
+	}
+	p.tp.Close()
+}
+
+// gossipLoop drives Tick at the node's (adaptive) interval, with a small
+// random initial phase.
+func (p *Peer) gossipLoop() {
+	defer close(p.loopDone)
+	interval := p.node.Interval()
+	timer := time.NewTimer(time.Duration(p.cfg.Seed%7+1) * interval / 8)
+	defer timer.Stop()
+	for {
+		select {
+		case <-p.stopCh:
+			return
+		case d := <-p.tp.IntervalCh():
+			// Interval changed: re-arm if it shrank.
+			if d < interval {
+				interval = d
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+				timer.Reset(d)
+			}
+		case <-timer.C:
+			p.node.Tick()
+			interval = p.node.Interval()
+			timer.Reset(interval)
+		}
+	}
+}
+
+// Join bootstraps into an existing community via any member's address.
+func (p *Peer) Join(seedAddr string) error {
+	rec, err := p.tp.FetchRecord(seedAddr)
+	if err != nil {
+		return fmt.Errorf("core: join via %s: %w", seedAddr, err)
+	}
+	p.dir.Upsert(rec)
+	return nil
+}
+
+// resolveAddr maps a peer id to its gossiped address.
+func (p *Peer) resolveAddr(id directory.PeerID) (string, bool) {
+	rec, ok := p.dir.Get(id)
+	if !ok || rec.Addr == "" {
+		return "", false
+	}
+	return rec.Addr, true
+}
+
+// onNews reacts to fresh gossip: persistent queries re-evaluate against
+// the peer whose filter changed.
+func (p *Peer) onNews(rec directory.Record) {
+	p.registry.NotifyFilter(rec.ID)
+}
+
+// Publish shares an XML document with the community: it is stored
+// locally, indexed, summarized into the Bloom filter, and the new filter
+// is gossiped. When BrokerTopFrac > 0, the document's most frequent terms
+// are also published to the brokerage (the PFS dual publication of
+// Section 6). It returns the parsed document.
+func (p *Peer) Publish(xml string) (*doc.Document, error) {
+	d := doc.Parse(xml)
+	var freqs map[string]int
+	if p.cfg.StructuredIndex {
+		freqs = d.StructuredTermFreqs(p.cfg.Resolver)
+	} else {
+		freqs = d.TermFreqs(p.cfg.Resolver)
+	}
+	if len(freqs) == 0 {
+		return nil, errors.New("core: document has no indexable terms")
+	}
+	p.mu.Lock()
+	if !p.store.Put(d) {
+		p.mu.Unlock()
+		return d, nil // idempotent republish
+	}
+	p.docOf[d.ID] = p.index.AddTermFreqs(freqs)
+	for t := range freqs {
+		p.filter.Insert(t)
+		p.counting.Add(t)
+	}
+	diff, err := p.filter.Diff(p.lastGossip)
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	diffBytes, err := bloom.EncodeDiff(diff, p.filter.NumBits())
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	payload := p.filter.Compress()
+	p.lastGossip = p.filter.Clone()
+	p.mu.Unlock()
+
+	p.node.Publish(len(diffBytes), len(payload), payload)
+
+	if p.cfg.BrokerTopFrac > 0 {
+		keys := topTerms(freqs, p.cfg.BrokerTopFrac)
+		discard := p.cfg.BrokerDiscard
+		if discard <= 0 {
+			discard = 10 * time.Minute
+		}
+		p.brokerPublish(broker.Snippet{ID: d.ID, Owner: int32(p.id), XML: xml, Keys: keys}, discard)
+	}
+	return d, nil
+}
+
+// topTerms returns the ceil(frac * |terms|) most frequent terms (at least
+// one), ties broken lexicographically for determinism.
+func topTerms(freqs map[string]int, frac float64) []string {
+	type tf struct {
+		t string
+		f int
+	}
+	all := make([]tf, 0, len(freqs))
+	for t, f := range freqs {
+		all = append(all, tf{t, f})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].f != all[j].f {
+			return all[i].f > all[j].f
+		}
+		return all[i].t < all[j].t
+	})
+	n := int(frac*float64(len(all)) + 0.999)
+	if n < 1 {
+		n = 1
+	}
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].t
+	}
+	return out
+}
+
+// Remove unpublishes a document: the local store and index forget it.
+// The gossiped Bloom filter is not shrunk immediately (plain filters
+// cannot delete); stale bits persist — costing only false positives —
+// until Compact rebuilds the filter. A counting twin tracks exactly how
+// stale the gossiped filter has become (see StaleFraction).
+func (p *Peer) Remove(docID string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.store.Delete(docID) {
+		return false
+	}
+	if id, ok := p.docOf[docID]; ok {
+		for _, t := range p.index.DocTerms(id) {
+			p.counting.Remove(t)
+		}
+		p.index.RemoveDocument(id)
+		delete(p.docOf, docID)
+	}
+	return true
+}
+
+// StaleFraction reports the fraction of the currently gossiped filter's
+// bits that removals have invalidated — 0 immediately after a Publish or
+// Compact, approaching 1 as the peer unpublishes content. Callers can use
+// a threshold (say 0.25) to decide when a Compact is worth its gossip
+// cost.
+func (p *Peer) StaleFraction() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	set := p.lastGossip.SetBits()
+	if set == 0 {
+		return 0
+	}
+	stale, err := p.counting.StaleBits(p.lastGossip)
+	if err != nil {
+		return 0
+	}
+	return float64(stale) / float64(set)
+}
+
+// Compact rebuilds the peer's Bloom filter from its live index contents,
+// dropping every stale bit left behind by Remove, and gossips the fresh
+// filter (a new version superseding the bloated one). It reports how many
+// bits were cleaned.
+func (p *Peer) Compact() int {
+	p.mu.Lock()
+	fresh := p.counting.ToFilter()
+	cleaned := p.filter.SetBits() - fresh.SetBits()
+	p.filter = fresh
+	payload := p.filter.Compress()
+	p.lastGossip = p.filter.Clone()
+	p.mu.Unlock()
+	// A compacted filter cannot be expressed as an additive diff — the
+	// rumor carries the full replacement.
+	p.node.Publish(len(payload), len(payload), payload)
+	return cleaned
+}
+
+// LocalDocs returns the number of locally published documents.
+func (p *Peer) LocalDocs() int { return p.store.Len() }
+
+// --- query pipeline ---
+
+// Terms runs the query pipeline over a raw query string, supporting both
+// plain words and the structured "tag:word" syntax.
+func Terms(query string) []string { return text.ParseQuery(query) }
+
+func max32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Search runs the ranked TFxIPF search (Section 5.2) for a raw query.
+func (p *Peer) Search(query string, k int) ([]search.ScoredDoc, search.Stats) {
+	return search.Ranked(p.view, fetcher{p}, Terms(query), search.Options{K: k})
+}
+
+// SearchVia delegates a ranked search to a better-connected peer, which
+// runs the whole peer-contacting pipeline and returns only the top-k
+// results — the paper's proxy search for modem-class members (Section
+// 7.2's "support some form of proxy search, where modem-connected peers
+// can ask peers with better connectivity to help with searches").
+func (p *Peer) SearchVia(proxy directory.PeerID, query string, k int) ([]search.ScoredDoc, error) {
+	if proxy == p.id {
+		docs, _ := p.Search(query, k)
+		return docs, nil
+	}
+	docs, err := p.tp.ProxySearch(proxy, Terms(query), k)
+	if err != nil {
+		p.dir.MarkOffline(proxy, p.tp.Now())
+		return nil, err
+	}
+	return docs, nil
+}
+
+// PickProxy chooses a random on-line fast-class peer to delegate searches
+// to (None if the directory knows no such peer).
+func (p *Peer) PickProxy() (directory.PeerID, bool) {
+	p.mu.Lock()
+	if p.userRng == nil {
+		// Separate stream from the gossip loop's (rand.Rand is not
+		// thread-safe and gossip owns the transport's).
+		p.userRng = rand.New(rand.NewSource(p.cfg.Seed ^ 0x5eed))
+	}
+	rng := p.userRng
+	pick := func() (directory.PeerID, bool) {
+		return p.dir.PickOnline(rng, func(id directory.PeerID, e directory.Entry) bool {
+			return id != p.id && e.Class == directory.Fast
+		})
+	}
+	defer p.mu.Unlock()
+	return pick()
+}
+
+// SearchAll runs the exhaustive conjunctive search (Section 5.1),
+// consulting both the Bloom-filter candidates and the brokerage.
+func (p *Peer) SearchAll(query string) []search.DocResult {
+	terms := Terms(query)
+	docs, _ := search.Exhaustive(p.view, fetcher{p}, terms)
+	// Also the appropriate brokers (Section 5.1).
+	for _, sn := range p.brokerSearch(terms) {
+		found := false
+		for _, d := range docs {
+			if d.Key == sn.ID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			docs = append(docs, snippetResult(sn, terms))
+		}
+	}
+	sort.Slice(docs, func(i, j int) bool { return docs[i].Key < docs[j].Key })
+	return docs
+}
+
+// snippetResult converts a brokered snippet to a DocResult (term
+// frequencies of 1 per advertised key — brokers store keys, not counts).
+func snippetResult(sn broker.Snippet, terms []string) search.DocResult {
+	freqs := make(map[string]int, len(terms))
+	for _, t := range terms {
+		if sn.HasKey(t) {
+			freqs[t] = 1
+		}
+	}
+	return search.DocResult{
+		Peer: directory.PeerID(sn.Owner), Key: sn.ID,
+		TermFreqs: freqs, DocLen: len(sn.Keys),
+	}
+}
+
+// PostPersistentQuery registers a standing query (Section 5.1): fn fires
+// for every new matching document, whether discovered via a gossiped
+// Bloom filter or a brokered snippet. It returns a cancel function.
+func (p *Peer) PostPersistentQuery(query string, fn func(search.DocResult)) func() {
+	terms := Terms(query)
+	_, cancel := p.registry.Post(terms, fn)
+	// Register watches at the brokers for immediate notification of
+	// fresh snippets.
+	p.brokerWatch(terms)
+	return cancel
+}
+
+// FetchDocument retrieves a document body from whichever peer holds it.
+func (p *Peer) FetchDocument(owner directory.PeerID, key string) (string, error) {
+	if owner == p.id {
+		d, err := p.store.Get(key)
+		if err != nil {
+			return "", err
+		}
+		return d.Raw, nil
+	}
+	return p.tp.GetDoc(owner, key)
+}
+
+// localQuery evaluates a query against the local index (both semantics).
+func (p *Peer) localQuery(terms []string, all bool) []search.DocResult {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var ids []index.DocID
+	if all {
+		ids = p.index.SearchAll(terms)
+	} else {
+		ids = p.index.SearchAny(terms)
+	}
+	// Reverse-map index ids to doc keys.
+	keyOf := make(map[index.DocID]string, len(p.docOf))
+	for key, id := range p.docOf {
+		keyOf[id] = key
+	}
+	out := make([]search.DocResult, 0, len(ids))
+	for _, id := range ids {
+		freqs := make(map[string]int, len(terms))
+		for _, t := range terms {
+			if f := p.index.Freq(id, t); f > 0 {
+				freqs[t] = f
+			}
+		}
+		out = append(out, search.DocResult{
+			Peer: p.id, Key: keyOf[id], TermFreqs: freqs, DocLen: p.index.DocLen(id),
+		})
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Snapshot is a peer's durable state: everything needed to restart with
+// the same identity and content. The version counters matter as much as
+// the documents — a restarted incarnation must announce itself with an
+// epoch that supersedes everything the previous one gossiped, or the
+// community will discard its records as stale.
+type Snapshot struct {
+	// ID is the peer's community id.
+	ID int32
+	// Epoch and Seq are the last gossiped version counters.
+	Epoch, Seq uint32
+	// Docs are the raw XML documents in the local store.
+	Docs []string
+}
+
+// Snapshot serializes the peer's durable state.
+func (p *Peer) Snapshot() ([]byte, error) {
+	rec := p.node.SelfRecord()
+	snap := Snapshot{ID: int32(p.id), Epoch: rec.Ver.Epoch, Seq: rec.Ver.Seq}
+	for _, d := range p.store.All() {
+		snap.Docs = append(snap.Docs, d.Raw)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("core: snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSnapshot parses a Snapshot.
+func DecodeSnapshot(data []byte) (Snapshot, error) {
+	var snap Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return Snapshot{}, fmt.Errorf("core: snapshot: %w", err)
+	}
+	return snap, nil
+}
+
+// restore republishes a snapshot's documents into a freshly constructed
+// peer (called before Start, so nothing goes on the wire; the final
+// filter gossips as one announcement once gossiping begins).
+func (p *Peer) restore(snap Snapshot) error {
+	if int32(p.id) != snap.ID {
+		return fmt.Errorf("core: snapshot belongs to peer %d, not %d", snap.ID, p.id)
+	}
+	for _, raw := range snap.Docs {
+		if _, err := p.Publish(raw); err != nil {
+			return fmt.Errorf("core: restoring document: %w", err)
+		}
+	}
+	return nil
+}

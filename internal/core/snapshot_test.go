@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	p, err := NewPeer(Config{ID: 0, Capacity: 2, Gossip: fastGossip()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Publish(`<a>first document body</a>`)
+	p.Publish(`<b>second document body</b>`)
+	data, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	verBefore := p.node.SelfRecord().Ver
+	p.Stop()
+
+	snap, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.ID != 0 || len(snap.Docs) != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.Epoch != verBefore.Epoch || snap.Seq != verBefore.Seq {
+		t.Fatalf("versions not captured: %+v vs %v", snap, verBefore)
+	}
+
+	// Restore under a fresh incarnation.
+	q, err := NewPeer(Config{ID: 0, Capacity: 2, Gossip: fastGossip(), Restore: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Stop()
+	if q.LocalDocs() != 2 {
+		t.Fatalf("restored %d docs", q.LocalDocs())
+	}
+	if got := q.node.SelfRecord().Ver.Epoch; got != snap.Epoch+1 {
+		t.Fatalf("restored epoch = %d, want %d", got, snap.Epoch+1)
+	}
+	// Restored content is locally searchable.
+	docs, _ := q.Search("second document", 3)
+	if len(docs) == 0 {
+		t.Fatal("restored docs not searchable")
+	}
+}
+
+func TestSnapshotWrongPeerRejected(t *testing.T) {
+	p, err := NewPeer(Config{ID: 0, Capacity: 4, Gossip: fastGossip()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Stop()
+	if _, err := NewPeer(Config{ID: 2, Capacity: 4, Gossip: fastGossip(), Restore: data}); err == nil {
+		t.Fatal("foreign snapshot accepted")
+	}
+}
+
+func TestSnapshotGarbageRejected(t *testing.T) {
+	if _, err := DecodeSnapshot([]byte("not a snapshot")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+	if _, err := NewPeer(Config{ID: 0, Capacity: 2, Gossip: fastGossip(), Restore: []byte{1, 2, 3}}); err == nil {
+		t.Fatal("garbage restore accepted")
+	}
+}
+
+// Full cycle: a peer crashes, restarts from its snapshot, and the
+// community accepts the new incarnation and finds its content again.
+func TestSnapshotRestartRejoinsCommunity(t *testing.T) {
+	peers := community(t, 3, 0)
+	waitFor(t, 15*time.Second, "membership", func() bool {
+		for _, p := range peers {
+			if p.Directory().NumKnown() != len(peers) {
+				return false
+			}
+		}
+		return true
+	})
+	peers[1].Publish(`<d>persistent walrus knowledge</d>`)
+	waitFor(t, 15*time.Second, "initial propagation", func() bool {
+		docs, _ := peers[0].Search("walrus", 2)
+		return len(docs) == 1
+	})
+	data, err := peers[1].Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers[1].Stop()
+	waitFor(t, 15*time.Second, "death detection", func() bool {
+		docs, _ := peers[0].Search("walrus", 2)
+		return len(docs) == 0
+	})
+
+	reborn, err := NewPeer(Config{
+		ID: 1, Capacity: 3, Gossip: fastGossip(), Seed: 77, Restore: data,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(reborn.Stop)
+	if err := reborn.Join(peers[0].Addr()); err != nil {
+		t.Fatal(err)
+	}
+	reborn.Start()
+	waitFor(t, 15*time.Second, "content restored to community", func() bool {
+		docs, _ := peers[0].Search("walrus", 2)
+		return len(docs) == 1 && docs[0].Peer == 1
+	})
+}

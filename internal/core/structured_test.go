@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"planetp/internal/directory"
+	"planetp/internal/search"
+)
+
+// communityStructured spins up peers with structured indexing enabled.
+func communityStructured(t *testing.T, n int) []*Peer {
+	t.Helper()
+	peers := make([]*Peer, n)
+	for i := 0; i < n; i++ {
+		p, err := NewPeer(Config{
+			ID: directory.PeerID(i), Capacity: n,
+			Gossip:          fastGossip(),
+			Seed:            int64(i + 1),
+			StructuredIndex: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[i] = p
+		t.Cleanup(p.Stop)
+	}
+	for i := 1; i < n; i++ {
+		if err := peers[i].Join(peers[0].Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range peers {
+		p.Start()
+	}
+	return peers
+}
+
+func TestStructuredQueryRestrictsToTag(t *testing.T) {
+	peers := communityStructured(t, 3)
+	waitFor(t, 15*time.Second, "membership", func() bool {
+		for _, p := range peers {
+			if p.Directory().NumKnown() != len(peers) {
+				return false
+			}
+		}
+		return true
+	})
+	// Two docs: "gossip" in the title of one, only in the body of the
+	// other.
+	peers[1].Publish(`<paper><title>gossip epidemics</title><body>filler text</body></paper>`)
+	peers[1].Publish(`<paper><title>storage systems</title><body>gossip mentioned in passing</body></paper>`)
+
+	waitFor(t, 15*time.Second, "filters", func() bool {
+		return len(peers[2].SearchAll("gossip")) == 2
+	})
+	// The plain query matches both; the scoped query only the title hit.
+	plain := peers[2].SearchAll("gossip")
+	if len(plain) != 2 {
+		t.Fatalf("plain query = %d docs", len(plain))
+	}
+	scoped := peers[2].SearchAll("title:gossip")
+	if len(scoped) != 1 {
+		t.Fatalf("scoped query = %d docs, want 1", len(scoped))
+	}
+	// Ranked search with a scoped term behaves too.
+	docs, _ := peers[2].Search("title:storage", 5)
+	if len(docs) != 1 {
+		t.Fatalf("ranked scoped query = %d docs", len(docs))
+	}
+}
+
+// The paper's Section 2, advantage (4): a filter hit on an off-line peer
+// means relevant documents may exist there; a persistent query
+// effectively rendezvouses with the peer when it reconnects (its rejoin
+// announcement re-triggers evaluation).
+func TestPersistentQueryRendezvousWithRejoiningPeer(t *testing.T) {
+	peers := community(t, 3, 0)
+	waitFor(t, 15*time.Second, "membership", func() bool {
+		for _, p := range peers {
+			if p.Directory().NumKnown() != len(peers) {
+				return false
+			}
+		}
+		return true
+	})
+	peers[1].Publish(`<d>rendezvous target document</d>`)
+	waitFor(t, 15*time.Second, "filter propagation", func() bool {
+		docs, _ := peers[0].Search("rendezvous target", 2)
+		return len(docs) == 1
+	})
+
+	// Peer 1 goes away; its documents are unreachable.
+	addr1 := peers[1].Addr()
+	_ = addr1
+	peers[1].Stop()
+	waitFor(t, 15*time.Second, "offline detection", func() bool {
+		docs, _ := peers[0].Search("rendezvous target", 2)
+		e, ok := peers[0].Directory().Entry(1)
+		return len(docs) == 0 && ok && !e.Online
+	})
+
+	// Post the persistent query while the holder is off-line.
+	got := make(chan search.DocResult, 4)
+	cancel := peers[0].PostPersistentQuery("rendezvous target", func(d search.DocResult) {
+		got <- d
+	})
+	defer cancel()
+	select {
+	case <-got:
+		t.Fatal("match fired while holder offline")
+	case <-time.After(200 * time.Millisecond):
+	}
+
+	// The holder reincarnates (same identity, new epoch) and republishes
+	// its documents; the rejoin gossip triggers the rendezvous upcall.
+	// Epoch 2: the reborn incarnation must supersede everything the old
+	// one gossiped.
+	reborn, err := NewPeer(Config{
+		ID: 1, Capacity: 3, Gossip: fastGossip(), Seed: 99, Epoch: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(reborn.Stop)
+	if err := reborn.Join(peers[0].Addr()); err != nil {
+		t.Fatal(err)
+	}
+	reborn.Start()
+	if _, err := reborn.Publish(`<d>rendezvous target document</d>`); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-got:
+		if d.Peer != 1 {
+			t.Fatalf("match from peer %d, want 1", d.Peer)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("rendezvous upcall never fired after rejoin")
+	}
+}

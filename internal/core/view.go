@@ -1,0 +1,290 @@
+package core
+
+import (
+	"sync"
+
+	"planetp/internal/bloom"
+	"planetp/internal/broker"
+	"planetp/internal/chash"
+	"planetp/internal/directory"
+	"planetp/internal/gossip"
+	"planetp/internal/search"
+	"planetp/internal/transport"
+	"time"
+)
+
+// dirView adapts the peer's directory replica to search.FilterView:
+// candidate peers are the on-line members, and Contains consults the
+// gossiped (compressed) Bloom filters, decompressed lazily and cached per
+// version.
+type dirView struct {
+	p *Peer
+
+	mu    sync.Mutex
+	cache map[directory.PeerID]cachedFilter
+}
+
+type cachedFilter struct {
+	ver    directory.Version
+	filter *bloom.Filter
+}
+
+// Peers implements search.FilterView.
+func (v *dirView) Peers() []directory.PeerID {
+	return v.p.dir.OnlineIDs()
+}
+
+// Contains implements search.FilterView.
+func (v *dirView) Contains(id directory.PeerID, term string) bool {
+	if id == v.p.id {
+		v.p.mu.Lock()
+		defer v.p.mu.Unlock()
+		return v.p.filter.Contains(term)
+	}
+	f := v.filterFor(id)
+	if f == nil {
+		return false
+	}
+	return f.Contains(term)
+}
+
+// filterFor returns the decompressed filter for id, caching by version.
+func (v *dirView) filterFor(id directory.PeerID) *bloom.Filter {
+	rec, ok := v.p.dir.Get(id)
+	if !ok || rec.Payload == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.cache == nil {
+		v.cache = make(map[directory.PeerID]cachedFilter)
+	}
+	if c, ok := v.cache[id]; ok && c.ver == rec.Ver {
+		return c.filter
+	}
+	f, err := bloom.Decompress(rec.Payload)
+	if err != nil {
+		return nil
+	}
+	v.cache[id] = cachedFilter{ver: rec.Ver, filter: f}
+	return f
+}
+
+// fetcher adapts the transport to search.Fetcher.
+type fetcher struct{ p *Peer }
+
+// QueryPeer implements search.Fetcher.
+func (f fetcher) QueryPeer(id directory.PeerID, terms []string) ([]search.DocResult, error) {
+	if id == f.p.id {
+		return f.p.localQuery(terms, false), nil
+	}
+	docs, err := f.p.tp.Query(id, terms, false)
+	if err != nil {
+		f.p.dir.MarkOffline(id, f.p.tp.Now())
+	}
+	return docs, err
+}
+
+// QueryPeerAll implements search.Fetcher.
+func (f fetcher) QueryPeerAll(id directory.PeerID, terms []string) ([]search.DocResult, error) {
+	if id == f.p.id {
+		return f.p.localQuery(terms, true), nil
+	}
+	docs, err := f.p.tp.Query(id, terms, true)
+	if err != nil {
+		f.p.dir.MarkOffline(id, f.p.tp.Now())
+	}
+	return docs, err
+}
+
+// --- brokerage routing ---
+//
+// Every on-line member hosts a broker; the ring is computed locally from
+// the directory (ids derived from peer ids), so converged peers agree on
+// key ownership without coordination. Ring churn does not migrate data —
+// the brokerage is best-effort by design (Section 4).
+
+// brokerRing builds the current ring view.
+func (p *Peer) brokerRing() *chash.Ring[directory.PeerID] {
+	ring := chash.NewRing[directory.PeerID]()
+	for _, id := range p.dir.OnlineIDs() {
+		bid := brokerID(id)
+		for !ring.Join(bid, id) {
+			bid = (bid + 1) % chash.MaxID
+		}
+	}
+	return ring
+}
+
+// brokerID derives a ring id from a peer id.
+func brokerID(id directory.PeerID) uint32 {
+	return chash.IDForMember(string(rune(id)) + "#planetp")
+}
+
+// brokerPublish routes a snippet's keys to their owning brokers.
+func (p *Peer) brokerPublish(sn broker.Snippet, discard time.Duration) {
+	ring := p.brokerRing()
+	for _, key := range sn.Keys {
+		_, ownerPeer, ok := ring.Successor(chash.Hash(key))
+		if !ok {
+			continue
+		}
+		if ownerPeer == p.id {
+			p.putLocalSnippet(sn, key, discard)
+		} else if err := p.tp.BrokerPut(ownerPeer, key, sn, discard); err != nil {
+			p.dir.MarkOffline(ownerPeer, p.tp.Now())
+		}
+	}
+}
+
+// putLocalSnippet stores one key of a snippet in the local broker and
+// fires remote watches.
+func (p *Peer) putLocalSnippet(sn broker.Snippet, key string, discard time.Duration) {
+	p.broker.Put(key, sn, discard)
+	p.mu.Lock()
+	var fire []remoteWatch
+	for _, w := range p.watchers {
+		if sn.HasAllKeys(w.keys) {
+			fire = append(fire, w)
+		}
+	}
+	p.mu.Unlock()
+	for _, w := range fire {
+		if w.watcher == p.id {
+			p.registry.NotifyDoc(snippetResult(sn, w.keys))
+		} else if err := p.tp.Notify(w.watcher, sn); err != nil {
+			p.dir.MarkOffline(w.watcher, p.tp.Now())
+		}
+	}
+}
+
+// brokerSearch queries the owning broker of each term.
+func (p *Peer) brokerSearch(terms []string) []broker.Snippet {
+	ring := p.brokerRing()
+	seen := make(map[string]broker.Snippet)
+	for _, key := range terms {
+		_, ownerPeer, ok := ring.Successor(chash.Hash(key))
+		if !ok {
+			continue
+		}
+		var snips []broker.Snippet
+		if ownerPeer == p.id {
+			snips = p.broker.Get(key)
+		} else {
+			var err error
+			snips, err = p.tp.BrokerGet(ownerPeer, key)
+			if err != nil {
+				p.dir.MarkOffline(ownerPeer, p.tp.Now())
+				continue
+			}
+		}
+		for _, sn := range snips {
+			if sn.HasAllKeys(terms) {
+				seen[sn.ID] = sn
+			}
+		}
+	}
+	out := make([]broker.Snippet, 0, len(seen))
+	for _, sn := range seen {
+		out = append(out, sn)
+	}
+	return out
+}
+
+// brokerWatch registers this peer as watcher for terms at the broker
+// owning the first term.
+func (p *Peer) brokerWatch(terms []string) {
+	if len(terms) == 0 {
+		return
+	}
+	ring := p.brokerRing()
+	_, ownerPeer, ok := ring.Successor(chash.Hash(terms[0]))
+	if !ok {
+		return
+	}
+	if ownerPeer == p.id {
+		p.addWatcher(terms, p.id)
+		return
+	}
+	if err := p.tp.BrokerWatch(ownerPeer, terms); err != nil {
+		p.dir.MarkOffline(ownerPeer, p.tp.Now())
+	}
+}
+
+// addWatcher records a watch registration.
+func (p *Peer) addWatcher(keys []string, watcher directory.PeerID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.watchers = append(p.watchers, remoteWatch{keys: keys, watcher: watcher})
+}
+
+// --- transport.Handler ---
+
+// handler implements transport.Handler on top of Peer without widening
+// Peer's public surface.
+type handler Peer
+
+var _ transport.Handler = (*handler)(nil)
+
+// HandleGossip implements transport.Handler.
+func (h *handler) HandleGossip(from directory.PeerID, m *gossip.Message) {
+	(*Peer)(h).node.Receive(from, m)
+}
+
+// HandleQuery implements transport.Handler.
+func (h *handler) HandleQuery(terms []string, all bool) []search.DocResult {
+	return (*Peer)(h).localQuery(terms, all)
+}
+
+// HandleBrokerPut implements transport.Handler.
+func (h *handler) HandleBrokerPut(key string, sn broker.Snippet, discard time.Duration) {
+	(*Peer)(h).putLocalSnippet(sn, key, discard)
+}
+
+// HandleBrokerGet implements transport.Handler.
+func (h *handler) HandleBrokerGet(key string) []broker.Snippet {
+	return (*Peer)(h).broker.Get(key)
+}
+
+// HandleBrokerWatch implements transport.Handler.
+func (h *handler) HandleBrokerWatch(keys []string, watcher directory.PeerID) {
+	(*Peer)(h).addWatcher(keys, watcher)
+}
+
+// HandleNotify implements transport.Handler: a watched snippet arrived.
+func (h *handler) HandleNotify(sn broker.Snippet) {
+	p := (*Peer)(h)
+	// Offer the snippet to all persistent queries; frequencies of 1 per
+	// advertised key (brokers store keys, not counts).
+	freqs := make(map[string]int, len(sn.Keys))
+	for _, k := range sn.Keys {
+		freqs[k] = 1
+	}
+	p.registry.NotifyDoc(search.DocResult{
+		Peer: directory.PeerID(sn.Owner), Key: sn.ID,
+		TermFreqs: freqs, DocLen: len(sn.Keys),
+	})
+}
+
+// HandleProxySearch implements transport.Handler: run the full ranked
+// search locally on behalf of a bandwidth-limited requester (the paper's
+// proxy-search accommodation for modem peers).
+func (h *handler) HandleProxySearch(terms []string, k int) []search.ScoredDoc {
+	p := (*Peer)(h)
+	docs, _ := search.Ranked(p.view, fetcher{p}, terms, search.Options{K: k})
+	return docs
+}
+
+// HandleGetDoc implements transport.Handler.
+func (h *handler) HandleGetDoc(key string) (string, bool) {
+	d, err := (*Peer)(h).store.Get(key)
+	if err != nil {
+		return "", false
+	}
+	return d.Raw, true
+}
+
+// SelfRecord implements transport.Handler.
+func (h *handler) SelfRecord() directory.Record {
+	return (*Peer)(h).node.SelfRecord()
+}

@@ -1,0 +1,432 @@
+// Package directory implements PlanetP's replicated global directory
+// (Section 3): every peer maintains a local copy of the membership list —
+// peer ids, addresses, on/off-line status, and a versioned Bloom-filter
+// summary per peer — kept loosely consistent by the gossiping layer.
+//
+// Peer ids are small dense integers so that a simulated community of
+// several thousand peers (each holding a directory over all the others)
+// fits comfortably in memory: the per-peer hot state is a fixed-size Entry
+// in a flat slice, while live-mode cold state (addresses, compressed Bloom
+// filters) lives in a lazily allocated side table.
+//
+// Off-line status is a local opinion — the paper explicitly does not
+// gossip leaves; a peer marks another off-line when a send to it fails and
+// flips it back when any newer record arrives. Consequently the directory
+// digest and summaries cover only (id, version), never status.
+package directory
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// PeerID identifies a community member. IDs are dense small integers
+// assigned at community-formation (simulation) or registration (live)
+// time.
+type PeerID int32
+
+// None is the invalid PeerID.
+const None PeerID = -1
+
+// Version orders the states of one peer's record. Epoch increments on
+// every rejoin (a new incarnation); Seq increments whenever the peer's
+// Bloom filter changes within an incarnation. Epoch 0 means "unknown":
+// live peers start at Epoch 1.
+type Version struct {
+	Epoch uint32
+	Seq   uint32
+}
+
+// Less reports whether v orders strictly before o.
+func (v Version) Less(o Version) bool {
+	if v.Epoch != o.Epoch {
+		return v.Epoch < o.Epoch
+	}
+	return v.Seq < o.Seq
+}
+
+// IsZero reports whether v is the unknown version.
+func (v Version) IsZero() bool { return v.Epoch == 0 && v.Seq == 0 }
+
+// String implements fmt.Stringer.
+func (v Version) String() string { return fmt.Sprintf("%d.%d", v.Epoch, v.Seq) }
+
+// Class is a peer's connectivity class, used by the bandwidth-aware
+// gossiping variant (Section 7.2): Fast is 512 Kb/s or better, Slow is
+// modem-speed.
+type Class uint8
+
+// Connectivity classes.
+const (
+	Fast Class = iota
+	Slow
+)
+
+// Record is the gossiped state of one peer: everything in the directory
+// except the local-only on/off-line opinion.
+type Record struct {
+	ID    PeerID
+	Ver   Version
+	Class Class
+	// Addr is the peer's contact address (live mode; empty in
+	// simulation).
+	Addr string
+	// PayloadSize is the wire size in bytes of the peer's full
+	// compressed Bloom filter. In live mode it equals len(Payload).
+	PayloadSize int32
+	// DiffSize is the wire size of the most recent Bloom-filter diff
+	// (the rumor payload); the simulator charges this for rumor pushes.
+	DiffSize int32
+	// Payload is the full compressed Bloom filter (live mode only).
+	Payload []byte
+}
+
+// Entry is the directory's per-peer hot state. Fixed-size so the whole
+// table is one flat allocation.
+type Entry struct {
+	Ver          Version
+	Known        bool
+	Online       bool
+	Class        Class
+	PayloadSize  int32
+	DiffSize     int32
+	OfflineSince time.Duration
+}
+
+// meta holds live-mode cold state.
+type meta struct {
+	addr    string
+	payload []byte
+}
+
+// Directory is one peer's replica of the global directory. It is
+// thread-safe: the live transport receives messages concurrently.
+type Directory struct {
+	mu      sync.RWMutex
+	self    PeerID
+	entries []Entry
+	meta    map[PeerID]*meta
+	digest  uint64
+	nKnown  int
+	nOnline int
+
+	// cached summary, shared immutably; nil when stale.
+	summaryCache []Version
+}
+
+// New returns a directory for peer self in a community whose id space is
+// [0, capacity). The directory starts empty except for awareness of the id
+// space size; callers insert records (including self's) via Upsert.
+func New(self PeerID, capacity int) *Directory {
+	return &Directory{
+		self:    self,
+		entries: make([]Entry, capacity),
+		meta:    make(map[PeerID]*meta),
+	}
+}
+
+// Self returns the owning peer's id.
+func (d *Directory) Self() PeerID { return d.self }
+
+// Capacity returns the size of the id space.
+func (d *Directory) Capacity() int { return len(d.entries) }
+
+// recHash mixes an (id, version) pair for the incremental digest.
+func recHash(id PeerID, v Version) uint64 {
+	x := uint64(id)<<40 ^ uint64(v.Epoch)<<20 ^ uint64(v.Seq)
+	// SplitMix64 finalizer: good avalanche for the XOR accumulator.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Upsert merges rec into the directory. It returns true when rec is newer
+// than the stored version (the caller should then treat it as news worth
+// rumoring). Any accepted record marks the peer on-line: hearing about a
+// peer implies it recently announced something.
+func (d *Directory) Upsert(rec Record) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(rec.ID) < 0 || int(rec.ID) >= len(d.entries) {
+		return false
+	}
+	e := &d.entries[rec.ID]
+	if e.Known && !e.Ver.Less(rec.Ver) {
+		return false
+	}
+	if e.Known {
+		d.digest ^= recHash(rec.ID, e.Ver)
+	} else {
+		d.nKnown++
+	}
+	d.digest ^= recHash(rec.ID, rec.Ver)
+	if !e.Online {
+		d.nOnline++
+	}
+	e.Ver = rec.Ver
+	e.Known = true
+	e.Online = true
+	e.Class = rec.Class
+	e.PayloadSize = rec.PayloadSize
+	e.DiffSize = rec.DiffSize
+	e.OfflineSince = 0
+	if rec.Addr != "" || rec.Payload != nil {
+		m := d.meta[rec.ID]
+		if m == nil {
+			m = &meta{}
+			d.meta[rec.ID] = m
+		}
+		if rec.Addr != "" {
+			m.addr = rec.Addr
+		}
+		if rec.Payload != nil {
+			m.payload = rec.Payload
+		}
+	}
+	d.summaryCache = nil
+	return true
+}
+
+// Get returns the full record for id and whether it is known.
+func (d *Directory) Get(id PeerID) (Record, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.getLocked(id)
+}
+
+func (d *Directory) getLocked(id PeerID) (Record, bool) {
+	if int(id) < 0 || int(id) >= len(d.entries) || !d.entries[id].Known {
+		return Record{}, false
+	}
+	e := d.entries[id]
+	rec := Record{
+		ID: id, Ver: e.Ver, Class: e.Class,
+		PayloadSize: e.PayloadSize, DiffSize: e.DiffSize,
+	}
+	if m := d.meta[id]; m != nil {
+		rec.Addr = m.addr
+		rec.Payload = m.payload
+	}
+	return rec, true
+}
+
+// Entry returns the hot state for id.
+func (d *Directory) Entry(id PeerID) (Entry, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if int(id) < 0 || int(id) >= len(d.entries) || !d.entries[id].Known {
+		return Entry{}, false
+	}
+	return d.entries[id], true
+}
+
+// VersionOf returns the known version of id (zero Version if unknown).
+func (d *Directory) VersionOf(id PeerID) Version {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if int(id) < 0 || int(id) >= len(d.entries) {
+		return Version{}
+	}
+	return d.entries[id].Ver
+}
+
+// MarkOffline records the local opinion that id is off-line as of now.
+// Per the paper this is never gossiped and does not affect the digest.
+func (d *Directory) MarkOffline(id PeerID, now time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(id) < 0 || int(id) >= len(d.entries) {
+		return
+	}
+	e := &d.entries[id]
+	if !e.Known || !e.Online {
+		return
+	}
+	e.Online = false
+	e.OfflineSince = now
+	d.nOnline--
+}
+
+// MarkOnline flips the local opinion back (used when a peer hears directly
+// from id, e.g. receives any message from it).
+func (d *Directory) MarkOnline(id PeerID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(id) < 0 || int(id) >= len(d.entries) {
+		return
+	}
+	e := &d.entries[id]
+	if !e.Known || e.Online {
+		return
+	}
+	e.Online = true
+	e.OfflineSince = 0
+	d.nOnline++
+}
+
+// DropDead removes every record that has been continuously off-line for at
+// least tDead (Section 3: assumed to have left permanently). It returns
+// the ids dropped.
+func (d *Directory) DropDead(tDead time.Duration, now time.Duration) []PeerID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var dropped []PeerID
+	for id := range d.entries {
+		e := &d.entries[id]
+		if e.Known && !e.Online && now-e.OfflineSince >= tDead {
+			d.digest ^= recHash(PeerID(id), e.Ver)
+			*e = Entry{}
+			delete(d.meta, PeerID(id))
+			d.nKnown--
+			dropped = append(dropped, PeerID(id))
+		}
+	}
+	if dropped != nil {
+		d.summaryCache = nil
+	}
+	return dropped
+}
+
+// Digest returns a 64-bit fingerprint of the (id, version) state. Two
+// directories with equal digests hold the same versions with overwhelming
+// probability; the gossip layer uses this to skip summary exchanges
+// between converged peers (a pure execution optimization — wire accounting
+// still charges the full summary).
+func (d *Directory) Digest() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.digest
+}
+
+// NumKnown returns the number of known records.
+func (d *Directory) NumKnown() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.nKnown
+}
+
+// NumOnline returns the number of records currently believed on-line.
+func (d *Directory) NumOnline() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.nOnline
+}
+
+// Summary returns the dense version vector (index = PeerID; zero Version =
+// unknown). The returned slice is shared and immutable: callers must not
+// modify it. Successive calls between mutations return the same slice, so
+// converged anti-entropy costs no allocation.
+func (d *Directory) Summary() []Version {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.summaryCache == nil {
+		s := make([]Version, len(d.entries))
+		for id := range d.entries {
+			if d.entries[id].Known {
+				s[id] = d.entries[id].Ver
+			}
+		}
+		d.summaryCache = s
+	}
+	return d.summaryCache
+}
+
+// Missing compares the local state against a remote summary and returns
+// the ids (paired with the local version, for diff-aware pulls) for which
+// the remote side has strictly newer information.
+type NeedEntry struct {
+	ID   PeerID
+	Have Version // zero if entirely unknown locally
+}
+
+// Missing returns what to pull from a peer whose summary is remote.
+func (d *Directory) Missing(remote []Version) []NeedEntry {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var need []NeedEntry
+	n := len(remote)
+	if n > len(d.entries) {
+		n = len(d.entries)
+	}
+	for id := 0; id < n; id++ {
+		rv := remote[id]
+		if rv.IsZero() {
+			continue
+		}
+		e := &d.entries[id]
+		if !e.Known || e.Ver.Less(rv) {
+			need = append(need, NeedEntry{ID: PeerID(id), Have: e.Ver})
+		}
+	}
+	return need
+}
+
+// PickFilter restricts PickOnline's choice.
+type PickFilter func(id PeerID, e Entry) bool
+
+// PickOnline returns a uniformly random known-on-line peer other than self
+// satisfying filter (nil filter accepts all). It returns (None, false)
+// when no candidate exists. The implementation probes random ids first —
+// O(1) when most peers are on-line — and falls back to a linear scan.
+func (d *Directory) PickOnline(rng *rand.Rand, filter PickFilter) (PeerID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	n := len(d.entries)
+	if n == 0 || d.nOnline == 0 {
+		return None, false
+	}
+	ok := func(id PeerID) bool {
+		e := d.entries[id]
+		return e.Known && e.Online && id != d.self && (filter == nil || filter(id, e))
+	}
+	for attempt := 0; attempt < 64; attempt++ {
+		id := PeerID(rng.Intn(n))
+		if ok(id) {
+			return id, true
+		}
+	}
+	// Rare fallback: reservoir-sample the eligible set.
+	var chosen PeerID = None
+	count := 0
+	for id := 0; id < n; id++ {
+		if ok(PeerID(id)) {
+			count++
+			if rng.Intn(count) == 0 {
+				chosen = PeerID(id)
+			}
+		}
+	}
+	return chosen, chosen != None
+}
+
+// OnlineIDs returns the ids currently believed on-line (excluding none —
+// self is included if its record is present and on-line).
+func (d *Directory) OnlineIDs() []PeerID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]PeerID, 0, d.nOnline)
+	for id := range d.entries {
+		if d.entries[id].Known && d.entries[id].Online {
+			out = append(out, PeerID(id))
+		}
+	}
+	return out
+}
+
+// KnownIDs returns all known ids.
+func (d *Directory) KnownIDs() []PeerID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]PeerID, 0, d.nKnown)
+	for id := range d.entries {
+		if d.entries[id].Known {
+			out = append(out, PeerID(id))
+		}
+	}
+	return out
+}

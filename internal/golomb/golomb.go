@@ -1,0 +1,270 @@
+// Package golomb implements Golomb run-length coding of non-negative
+// integers, as used by PlanetP to compress sparse Bloom filters before
+// gossiping them (Section 7.1 of the paper).
+//
+// A Golomb code with parameter M encodes a value v as a unary quotient
+// q = v / M followed by a binary remainder r = v % M using the truncated
+// binary encoding. For geometrically distributed inputs — such as the gaps
+// between set bits in a sparse bit vector — choosing M near 0.69/p (p the
+// bit density) yields near-entropy compression, which is why the paper found
+// it to outperform gzip on Bloom filters.
+package golomb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrCorrupt is returned when a decoder runs off the end of its input or
+// encounters an impossible encoding.
+var ErrCorrupt = errors.New("golomb: corrupt input")
+
+// BitWriter accumulates individual bits into a byte slice, most significant
+// bit first within each byte.
+type BitWriter struct {
+	buf  []byte
+	nbit uint8 // bits used in the last byte (0 means last byte is full)
+}
+
+// NewBitWriter returns an empty BitWriter.
+func NewBitWriter() *BitWriter { return &BitWriter{} }
+
+// WriteBit appends a single bit (any non-zero b writes 1).
+func (w *BitWriter) WriteBit(b uint) {
+	if w.nbit == 0 {
+		w.buf = append(w.buf, 0)
+		w.nbit = 8
+	}
+	if b != 0 {
+		w.buf[len(w.buf)-1] |= 1 << (w.nbit - 1)
+	}
+	w.nbit--
+}
+
+// WriteBits appends the low n bits of v, most significant first. n must be
+// at most 64.
+func (w *BitWriter) WriteBits(v uint64, n uint) {
+	for i := int(n) - 1; i >= 0; i-- {
+		w.WriteBit(uint(v>>uint(i)) & 1)
+	}
+}
+
+// WriteUnary appends q one-bits followed by a terminating zero-bit.
+func (w *BitWriter) WriteUnary(q uint64) {
+	for i := uint64(0); i < q; i++ {
+		w.WriteBit(1)
+	}
+	w.WriteBit(0)
+}
+
+// Len returns the number of whole bytes needed to hold the written bits.
+func (w *BitWriter) Len() int { return len(w.buf) }
+
+// Bits returns the total number of bits written.
+func (w *BitWriter) Bits() int { return len(w.buf)*8 - int(w.nbit) }
+
+// Bytes returns the accumulated bytes. Unused trailing bits are zero.
+func (w *BitWriter) Bytes() []byte { return w.buf }
+
+// BitReader consumes bits from a byte slice in the order BitWriter wrote
+// them.
+type BitReader struct {
+	buf []byte
+	pos int // absolute bit position
+}
+
+// NewBitReader returns a reader over buf.
+func NewBitReader(buf []byte) *BitReader { return &BitReader{buf: buf} }
+
+// ReadBit returns the next bit, or an error at end of input.
+func (r *BitReader) ReadBit() (uint, error) {
+	byteIdx := r.pos >> 3
+	if byteIdx >= len(r.buf) {
+		return 0, ErrCorrupt
+	}
+	bit := uint(r.buf[byteIdx]>>(7-uint(r.pos&7))) & 1
+	r.pos++
+	return bit, nil
+}
+
+// ReadBits reads n bits (n <= 64) into the low bits of the result.
+func (r *BitReader) ReadBits(n uint) (uint64, error) {
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// ReadUnary reads a unary-coded quantity (count of ones before a zero).
+// The limit guards against corrupt input producing unbounded loops.
+func (r *BitReader) ReadUnary(limit uint64) (uint64, error) {
+	var q uint64
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 0 {
+			return q, nil
+		}
+		q++
+		if q > limit {
+			return 0, ErrCorrupt
+		}
+	}
+}
+
+// Pos returns the current absolute bit position.
+func (r *BitReader) Pos() int { return r.pos }
+
+// Encoder writes Golomb-coded values with a fixed parameter M.
+type Encoder struct {
+	w *BitWriter
+	m uint64
+	b uint   // ceil(log2(m))
+	t uint64 // 2^b - m, the truncated-binary threshold
+}
+
+// NewEncoder returns an Encoder with parameter m (m >= 1).
+func NewEncoder(m uint64) *Encoder {
+	if m < 1 {
+		panic(fmt.Sprintf("golomb: invalid parameter M=%d", m))
+	}
+	b := uint(bitsFor(m))
+	return &Encoder{w: NewBitWriter(), m: m, b: b, t: (uint64(1) << b) - m}
+}
+
+// bitsFor returns ceil(log2(m)) with bitsFor(1) == 0.
+func bitsFor(m uint64) int {
+	n := 0
+	for (uint64(1) << uint(n)) < m {
+		n++
+	}
+	return n
+}
+
+// Put encodes one value.
+func (e *Encoder) Put(v uint64) {
+	q := v / e.m
+	r := v % e.m
+	e.w.WriteUnary(q)
+	if e.m == 1 {
+		return
+	}
+	// Truncated binary encoding of the remainder: the first t values use
+	// b-1 bits; the rest use b bits offset by t.
+	if r < e.t {
+		e.w.WriteBits(r, e.b-1)
+	} else {
+		e.w.WriteBits(r+e.t, e.b)
+	}
+}
+
+// Bytes returns the encoded byte stream.
+func (e *Encoder) Bytes() []byte { return e.w.Bytes() }
+
+// Bits returns the number of bits emitted so far.
+func (e *Encoder) Bits() int { return e.w.Bits() }
+
+// Decoder reads Golomb-coded values with a fixed parameter M.
+type Decoder struct {
+	r *BitReader
+	m uint64
+	b uint
+	t uint64
+	// maxQuotient bounds unary runs so corrupt input fails fast.
+	maxQuotient uint64
+}
+
+// NewDecoder returns a Decoder over buf with parameter m.
+func NewDecoder(buf []byte, m uint64) *Decoder {
+	if m < 1 {
+		panic(fmt.Sprintf("golomb: invalid parameter M=%d", m))
+	}
+	b := uint(bitsFor(m))
+	return &Decoder{
+		r: NewBitReader(buf), m: m, b: b, t: (uint64(1) << b) - m,
+		maxQuotient: uint64(len(buf))*8 + 1,
+	}
+}
+
+// Get decodes one value.
+func (d *Decoder) Get() (uint64, error) {
+	q, err := d.r.ReadUnary(d.maxQuotient)
+	if err != nil {
+		return 0, err
+	}
+	if d.m == 1 {
+		return q, nil
+	}
+	r, err := d.r.ReadBits(d.b - 1)
+	if err != nil {
+		return 0, err
+	}
+	if r >= d.t {
+		bit, err := d.r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		r = r<<1 | uint64(bit) - d.t
+	}
+	return q*d.m + r, nil
+}
+
+// OptimalM returns the Golomb parameter that (approximately) minimizes the
+// code length for gap sequences whose underlying bit density is p, i.e. the
+// probability that any given bit is set. The classical rule is
+// M = round(-1/log2(1-p)) ≈ 0.6931/p for small p.
+func OptimalM(p float64) uint64 {
+	if p <= 0 {
+		return 1 << 30 // effectively raw binary; gaps are enormous
+	}
+	if p >= 1 {
+		return 1
+	}
+	m := math.Round(-1 / math.Log2(1-p))
+	if m < 1 {
+		return 1
+	}
+	return uint64(m)
+}
+
+// EncodeGaps Golomb-encodes the gaps between successive sorted positions.
+// positions must be strictly increasing. The first value encoded is
+// positions[0], then positions[i]-positions[i-1]-1 for each subsequent one
+// (the -1 exploits strict monotonicity to shave a bit per gap).
+func EncodeGaps(positions []uint64, m uint64) ([]byte, error) {
+	e := NewEncoder(m)
+	prev := int64(-1)
+	for _, p := range positions {
+		if int64(p) <= prev {
+			return nil, fmt.Errorf("golomb: positions not strictly increasing at %d", p)
+		}
+		e.Put(p - uint64(prev+1))
+		prev = int64(p)
+	}
+	return e.Bytes(), nil
+}
+
+// DecodeGaps reverses EncodeGaps, returning count positions.
+func DecodeGaps(buf []byte, m uint64, count int) ([]uint64, error) {
+	d := NewDecoder(buf, m)
+	out := make([]uint64, 0, count)
+	prev := int64(-1)
+	for i := 0; i < count; i++ {
+		gap, err := d.Get()
+		if err != nil {
+			return nil, err
+		}
+		p := uint64(prev+1) + gap
+		out = append(out, p)
+		prev = int64(p)
+	}
+	return out, nil
+}

@@ -1,0 +1,588 @@
+package gossip
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"planetp/internal/directory"
+)
+
+// Env is the node's window to its runtime: a clock, a transport, and a
+// source of randomness. The simulator provides virtual implementations;
+// the live transport provides real ones.
+type Env interface {
+	// Now returns the current (possibly virtual) time.
+	Now() time.Duration
+	// Send transmits m to peer to. An error means the peer could not be
+	// reached (the node marks it off-line, per Section 3).
+	Send(to directory.PeerID, m *Message) error
+	// Rand returns the node's random source. Must be stable across
+	// calls (the node assumes a single stream).
+	Rand() *rand.Rand
+	// IntervalChanged notifies the driver that the node's desired
+	// gossip interval changed (so a pending timer can be rescheduled —
+	// the paper resets the interval to base immediately on news).
+	IntervalChanged(d time.Duration)
+}
+
+// rumorState tracks one actively spread rumor.
+type rumorState struct {
+	ver directory.Version
+	// consecKnown counts consecutive *distinct* contacts that already
+	// knew the rumor; at RumorTTL the rumor retires. Repeated acks from
+	// the same peer count once — Demers' rule is "contacts n peers in a
+	// row", and a joiner that only knows its bootstrap contact yet must
+	// not retire its own join announcement against it.
+	consecKnown int
+	lastAcker   directory.PeerID
+	anyAck      bool
+}
+
+// Stats counts a node's protocol activity.
+type Stats struct {
+	Rounds       int
+	RumorsSent   int
+	AcksSent     int
+	AERequests   int
+	AESummaries  int
+	PullsSent    int
+	RecordsSent  int
+	NewsLearned  int // records accepted as fresh
+	Retired      int
+	FailedSends  int
+	Gossipless   int // identical-directory contacts observed
+	IntervalUps  int // adaptive slow-downs applied
+	IntervalDrop int // resets to base interval
+}
+
+// Node is one peer's gossip engine. All methods are safe for concurrent
+// use (the live transport delivers from multiple goroutines; the simulator
+// is single-threaded).
+type Node struct {
+	mu   sync.Mutex
+	id   directory.PeerID
+	dir  *directory.Directory
+	cfg  Config
+	env  Env
+	self directory.Record
+
+	active  map[directory.PeerID]*rumorState
+	retired []RumorID // most recent last; capped at PiggybackCount
+
+	rounds     int
+	interval   time.Duration
+	gossipless int
+	// pullInFlight gates record pulls: at most one outstanding pull at
+	// a time, so a slow link does not accumulate duplicate multi-
+	// megabyte responses for the same missing records while the first
+	// is still in transit. Cleared when records arrive or after
+	// pullTimeout.
+	pullInFlight bool
+	pullStarted  time.Duration
+	// localFresh marks a locally originated rumor not yet pushed: a
+	// slow peer sources its first push to a fast peer (Section 7.2).
+	localFresh bool
+
+	stats Stats
+}
+
+// NewNode creates a gossip node for the peer described by self. The
+// self record is inserted into dir and becomes the node's first rumor
+// (its join announcement).
+func NewNode(self directory.Record, dir *directory.Directory, cfg Config, env Env) *Node {
+	cfg = cfg.WithDefaults()
+	if self.Ver.IsZero() {
+		self.Ver = directory.Version{Epoch: 1, Seq: 0}
+	}
+	n := &Node{
+		id:       self.ID,
+		dir:      dir,
+		cfg:      cfg,
+		env:      env,
+		self:     self,
+		active:   make(map[directory.PeerID]*rumorState),
+		interval: cfg.BaseInterval,
+		// A joining member's first round is anti-entropy: it downloads
+		// the directory from its bootstrap contact before spreading its
+		// own announcement (Section 7.2's join model), which also
+		// ensures its first rumor pushes have real targets to pick
+		// from.
+		rounds: cfg.AEEvery - 1,
+	}
+	dir.Upsert(self)
+	n.activateLocked(RumorID{Peer: self.ID, Ver: self.Ver})
+	n.localFresh = true
+	return n
+}
+
+// ID returns the node's peer id.
+func (n *Node) ID() directory.PeerID { return n.id }
+
+// Directory returns the node's directory replica.
+func (n *Node) Directory() *directory.Directory { return n.dir }
+
+// Interval returns the node's current gossip interval.
+func (n *Node) Interval() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.interval
+}
+
+// Stats returns a snapshot of protocol counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// SelfRecord returns the node's current own record.
+func (n *Node) SelfRecord() directory.Record {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.self
+}
+
+// ActiveRumors returns the number of rumors being spread.
+func (n *Node) ActiveRumors() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.active)
+}
+
+// Publish announces a change to the node's own Bloom filter: Seq is
+// bumped, sizes updated, and the new record becomes an active rumor.
+// diffSize is the wire size of the filter diff (the rumor payload);
+// payloadSize the full compressed filter; payload the actual bytes (live
+// mode, may be nil in simulation).
+func (n *Node) Publish(diffSize, payloadSize int, payload []byte) directory.Record {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.self.Ver.Seq++
+	n.self.DiffSize = int32(diffSize)
+	n.self.PayloadSize = int32(payloadSize)
+	if payload != nil {
+		n.self.Payload = payload
+	}
+	n.dir.Upsert(n.self)
+	n.activateLocked(RumorID{Peer: n.id, Ver: n.self.Ver})
+	n.localFresh = true
+	n.resetIntervalLocked()
+	return n.self
+}
+
+// Rejoin announces the node's return after an off-line period: Epoch is
+// bumped (a new incarnation) so the announcement supersedes any version
+// gossiped before. If the node also has new content, pass the new sizes;
+// otherwise pass the previous ones with diffSize 0.
+func (n *Node) Rejoin(diffSize, payloadSize int, payload []byte) directory.Record {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.self.Ver.Epoch++
+	n.self.Ver.Seq = 0
+	n.self.DiffSize = int32(diffSize)
+	if payloadSize > 0 {
+		n.self.PayloadSize = int32(payloadSize)
+	}
+	if payload != nil {
+		n.self.Payload = payload
+	}
+	n.dir.Upsert(n.self)
+	n.activateLocked(RumorID{Peer: n.id, Ver: n.self.Ver})
+	n.localFresh = true
+	n.resetIntervalLocked()
+	return n.self
+}
+
+// Quiesce drops all active rumors and retired-rumor state, as if every
+// rumor had been fully spread. Experiment harnesses use it to construct a
+// converged, quiet community as a starting point.
+func (n *Node) Quiesce() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for id := range n.active {
+		delete(n.active, id)
+	}
+	n.retired = n.retired[:0]
+	n.localFresh = false
+	n.rounds = 0 // an established member, not a fresh joiner
+}
+
+// activateLocked starts (or supersedes) the active rumor for id.Peer.
+func (n *Node) activateLocked(id RumorID) {
+	n.active[id.Peer] = &rumorState{ver: id.Ver}
+}
+
+// retireLocked stops spreading the rumor for peer and remembers it for
+// piggybacking.
+func (n *Node) retireLocked(peer directory.PeerID, ver directory.Version) {
+	delete(n.active, peer)
+	n.stats.Retired++
+	if n.cfg.PiggybackCount <= 0 {
+		return
+	}
+	n.retired = append(n.retired, RumorID{Peer: peer, Ver: ver})
+	if len(n.retired) > n.cfg.PiggybackCount {
+		n.retired = n.retired[len(n.retired)-n.cfg.PiggybackCount:]
+	}
+}
+
+// tryStartPullLocked reports whether a new pull may be issued, marking it
+// in flight. A stuck pull (responder died mid-transfer) expires after
+// 20 base intervals.
+func (n *Node) tryStartPullLocked() bool {
+	now := n.env.Now()
+	if n.pullInFlight && now-n.pullStarted < 20*n.cfg.BaseInterval {
+		return false
+	}
+	n.pullInFlight = true
+	n.pullStarted = now
+	return true
+}
+
+// resetIntervalLocked snaps the gossip interval back to base (on news).
+func (n *Node) resetIntervalLocked() {
+	n.gossipless = 0
+	if n.interval != n.cfg.BaseInterval {
+		n.interval = n.cfg.BaseInterval
+		n.stats.IntervalDrop++
+		n.env.IntervalChanged(n.interval)
+	}
+}
+
+// gossiplessContactLocked records an identical-directory contact and
+// applies the adaptive slow-down when the threshold is reached.
+func (n *Node) gossiplessContactLocked() {
+	n.stats.Gossipless++
+	n.gossipless++
+	if n.gossipless < n.cfg.GossiplessThreshold {
+		return
+	}
+	n.gossipless = 0
+	if n.interval < n.cfg.MaxInterval {
+		n.interval += n.cfg.SlowdownStep
+		if n.interval > n.cfg.MaxInterval {
+			n.interval = n.cfg.MaxInterval
+		}
+		n.stats.IntervalUps++
+		n.env.IntervalChanged(n.interval)
+	}
+}
+
+// chooseTarget applies the bandwidth-aware selection rules of Section 7.2
+// (or uniform selection when disabled).
+func (n *Node) chooseTarget(doAE bool) (directory.PeerID, bool) {
+	rng := n.env.Rand()
+	notSelf := func(id directory.PeerID, _ directory.Entry) bool { return id != n.id }
+	if !n.cfg.BandwidthAware {
+		return n.dir.PickOnline(rng, notSelf)
+	}
+	classIs := func(c directory.Class) directory.PickFilter {
+		return func(id directory.PeerID, e directory.Entry) bool {
+			return id != n.id && e.Class == c
+		}
+	}
+	var id directory.PeerID
+	var ok bool
+	if n.self.Class == directory.Fast {
+		if doAE {
+			// Fast anti-entropy always targets fast peers.
+			id, ok = n.dir.PickOnline(rng, classIs(directory.Fast))
+		} else if rng.Float64() < n.cfg.SlowPeerProb {
+			id, ok = n.dir.PickOnline(rng, classIs(directory.Slow))
+		} else {
+			id, ok = n.dir.PickOnline(rng, classIs(directory.Fast))
+		}
+	} else { // slow peer
+		switch {
+		case doAE:
+			// Slow anti-entropy chooses uniformly.
+			id, ok = n.dir.PickOnline(rng, notSelf)
+		case n.localFresh:
+			// Source of a rumor: initial push goes to a fast peer.
+			id, ok = n.dir.PickOnline(rng, classIs(directory.Fast))
+		default:
+			id, ok = n.dir.PickOnline(rng, classIs(directory.Slow))
+		}
+	}
+	if !ok {
+		// Degenerate communities (e.g. no slow peers at all): fall back
+		// to anyone rather than stalling.
+		id, ok = n.dir.PickOnline(rng, notSelf)
+	}
+	return id, ok
+}
+
+// Tick runs one gossip round: pick a target and either push rumors or run
+// an anti-entropy exchange. Drivers call it every Interval().
+func (n *Node) Tick() {
+	n.mu.Lock()
+	n.rounds++
+	n.stats.Rounds++
+	if n.cfg.TDead > 0 && n.rounds%16 == 0 {
+		n.dir.DropDead(n.cfg.TDead, n.env.Now())
+	}
+	doAE := n.cfg.Mode == ModeAEOnly ||
+		len(n.active) == 0 ||
+		(n.cfg.AEEvery > 0 && n.rounds%n.cfg.AEEvery == 0)
+	target, ok := n.chooseTarget(doAE)
+	if !ok {
+		n.mu.Unlock()
+		return
+	}
+	var msg *Message
+	if n.cfg.Mode == ModeAEOnly {
+		// Push anti-entropy baseline: ship our summary unsolicited.
+		msg = &Message{
+			Type: MsgAESummary, From: n.id,
+			Digest:   n.dir.Digest(),
+			Summary:  n.dir.Summary(),
+			NumKnown: n.dir.NumKnown(),
+		}
+		n.stats.AESummaries++
+	} else if doAE {
+		msg = &Message{Type: MsgAERequest, From: n.id, Digest: n.dir.Digest()}
+		n.stats.AERequests++
+	} else {
+		msg = &Message{Type: MsgRumor, From: n.id, Updates: n.activeUpdatesLocked()}
+		n.stats.RumorsSent++
+		// The source of a rumor keeps aiming its initial push at a fast
+		// peer until one is actually reached (Section 7.2); without
+		// bandwidth awareness any push satisfies it.
+		if !n.cfg.BandwidthAware {
+			n.localFresh = false
+		} else if e, ok := n.dir.Entry(target); ok && e.Class == directory.Fast {
+			n.localFresh = false
+		}
+	}
+	n.mu.Unlock()
+
+	if err := n.env.Send(target, msg); err != nil {
+		n.mu.Lock()
+		n.stats.FailedSends++
+		n.mu.Unlock()
+		n.dir.MarkOffline(target, n.env.Now())
+	}
+}
+
+// activeUpdatesLocked snapshots the active rumors as records, in sorted
+// peer order for determinism.
+func (n *Node) activeUpdatesLocked() []directory.Record {
+	ids := make([]directory.PeerID, 0, len(n.active))
+	for id := range n.active {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ups := make([]directory.Record, 0, len(ids))
+	for _, id := range ids {
+		if rec, ok := n.dir.Get(id); ok {
+			// Guard against the directory having advanced past the
+			// rumor (shouldn't happen — activation tracks upserts).
+			ups = append(ups, rec)
+		}
+	}
+	return ups
+}
+
+// applyRecord upserts rec, returning true when it was news. Only records
+// that arrive as rumors become active rumors at the receiver (Demers'
+// rumor mongering); records learned through anti-entropy or partial-AE
+// pulls are recorded without re-spreading — otherwise a joiner pulling
+// the whole directory would re-rumor every record in it. Either way, any
+// news resets the adaptive interval (Section 3).
+func (n *Node) applyRecord(rec directory.Record, viaRumor bool) bool {
+	if rec.ID == n.id {
+		return false // no one knows more about us than we do
+	}
+	if !n.dir.Upsert(rec) {
+		return false
+	}
+	n.mu.Lock()
+	n.stats.NewsLearned++
+	if viaRumor && n.cfg.Mode == ModeRumor {
+		n.activateLocked(RumorID{Peer: rec.ID, Ver: rec.Ver})
+	}
+	n.resetIntervalLocked()
+	n.mu.Unlock()
+	if n.cfg.OnNews != nil {
+		n.cfg.OnNews(rec)
+	}
+	return true
+}
+
+// Receive processes an incoming message. reply messages are sent through
+// the Env.
+func (n *Node) Receive(from directory.PeerID, m *Message) {
+	// Hearing from a peer directly proves it is on-line.
+	n.dir.MarkOnline(from)
+	switch m.Type {
+	case MsgRumor:
+		n.receiveRumor(from, m)
+	case MsgRumorAck:
+		n.receiveAck(from, m)
+	case MsgPull:
+		n.receivePull(from, m)
+	case MsgRecords:
+		n.mu.Lock()
+		n.pullInFlight = false
+		n.mu.Unlock()
+		for i := range m.Updates {
+			n.applyRecord(m.Updates[i], false)
+		}
+	case MsgAERequest:
+		n.receiveAERequest(from, m)
+	case MsgAESummary:
+		n.receiveAESummary(from, m)
+	}
+}
+
+func (n *Node) receiveRumor(from directory.PeerID, m *Message) {
+	known := make([]bool, len(m.Updates))
+	acked := make([]RumorID, len(m.Updates))
+	for i := range m.Updates {
+		rec := m.Updates[i]
+		acked[i] = RumorID{Peer: rec.ID, Ver: rec.Ver}
+		known[i] = !n.applyRecord(rec, true)
+	}
+	n.mu.Lock()
+	ack := &Message{
+		Type: MsgRumorAck, From: n.id,
+		Acked: acked, Known: known,
+		Recent: append([]RumorID(nil), n.retired...),
+	}
+	n.stats.AcksSent++
+	n.mu.Unlock()
+	n.sendOrMarkOffline(from, ack)
+}
+
+func (n *Node) receiveAck(from directory.PeerID, m *Message) {
+	n.mu.Lock()
+	for i := range m.Acked {
+		id := m.Acked[i]
+		st, ok := n.active[id.Peer]
+		if !ok || st.ver != id.Ver {
+			continue // superseded or already retired
+		}
+		if i < len(m.Known) && m.Known[i] {
+			if st.anyAck && st.lastAcker == from {
+				continue // same contact again: not a new "peer in a row"
+			}
+			st.anyAck = true
+			st.lastAcker = from
+			st.consecKnown++
+			if st.consecKnown >= n.cfg.RumorTTL {
+				n.retireLocked(id.Peer, id.Ver)
+			}
+		} else {
+			st.consecKnown = 0
+			st.anyAck = true
+			st.lastAcker = from
+		}
+	}
+	n.mu.Unlock()
+	// Partial anti-entropy: pull anything the acker recently learned
+	// that we have not.
+	var need []directory.NeedEntry
+	for _, rid := range m.Recent {
+		if n.dir.VersionOf(rid.Peer).Less(rid.Ver) {
+			need = append(need, directory.NeedEntry{ID: rid.Peer, Have: n.dir.VersionOf(rid.Peer)})
+		}
+	}
+	if len(need) > 0 {
+		n.mu.Lock()
+		ok := n.tryStartPullLocked()
+		if ok {
+			n.stats.PullsSent++
+		}
+		n.mu.Unlock()
+		if ok {
+			n.sendOrMarkOffline(from, &Message{Type: MsgPull, From: n.id, Need: need})
+		}
+	}
+}
+
+func (n *Node) receivePull(from directory.PeerID, m *Message) {
+	ups := make([]directory.Record, 0, len(m.Need))
+	asDiff := make([]bool, 0, len(m.Need))
+	for _, ne := range m.Need {
+		rec, ok := n.dir.Get(ne.ID)
+		if !ok {
+			continue
+		}
+		// A requester exactly one Seq behind (same Epoch) can be served
+		// with the last diff; anyone further behind needs the full
+		// filter. Affects wire accounting only.
+		diffOK := ne.Have.Epoch == rec.Ver.Epoch && ne.Have.Seq+1 == rec.Ver.Seq
+		ups = append(ups, rec)
+		asDiff = append(asDiff, diffOK)
+	}
+	if len(ups) == 0 {
+		return
+	}
+	n.mu.Lock()
+	n.stats.RecordsSent += len(ups)
+	n.mu.Unlock()
+	n.sendOrMarkOffline(from, &Message{Type: MsgRecords, From: n.id, Updates: ups, AsDiff: asDiff})
+}
+
+func (n *Node) receiveAERequest(from directory.PeerID, m *Message) {
+	digest := n.dir.Digest()
+	reply := &Message{
+		Type: MsgAESummary, From: n.id,
+		Digest: digest, NumKnown: n.dir.NumKnown(),
+	}
+	if digest == m.Digest {
+		reply.Identical = true
+	} else {
+		reply.Summary = n.dir.Summary()
+	}
+	n.mu.Lock()
+	n.stats.AESummaries++
+	n.mu.Unlock()
+	n.sendOrMarkOffline(from, reply)
+}
+
+func (n *Node) receiveAESummary(from directory.PeerID, m *Message) {
+	if m.Identical || m.Digest == n.dir.Digest() {
+		// Identical directories: count a gossip-less contact if we had
+		// nothing to rumor (Section 3's condition for slowing down).
+		n.mu.Lock()
+		if len(n.active) == 0 {
+			n.gossiplessContactLocked()
+		}
+		n.mu.Unlock()
+		return
+	}
+	need := n.dir.Missing(m.Summary)
+	if len(need) == 0 {
+		// We are strictly ahead; nothing to pull. (The remote will
+		// catch up through its own exchanges.)
+		return
+	}
+	if n.cfg.MaxPullBatch > 0 && len(need) > n.cfg.MaxPullBatch {
+		// Acquire the directory in pieces: the rest comes on later
+		// exchanges (Missing is deterministic, so batches progress).
+		need = need[:n.cfg.MaxPullBatch]
+	}
+	n.mu.Lock()
+	ok := n.tryStartPullLocked()
+	if ok {
+		n.stats.PullsSent++
+	}
+	n.mu.Unlock()
+	if ok {
+		n.sendOrMarkOffline(from, &Message{Type: MsgPull, From: n.id, Need: need})
+	}
+}
+
+// sendOrMarkOffline sends m, recording the local off-line opinion on
+// failure.
+func (n *Node) sendOrMarkOffline(to directory.PeerID, m *Message) {
+	if err := n.env.Send(to, m); err != nil {
+		n.mu.Lock()
+		n.stats.FailedSends++
+		n.mu.Unlock()
+		n.dir.MarkOffline(to, n.env.Now())
+	}
+}

@@ -1,0 +1,431 @@
+package gossip
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"planetp/internal/directory"
+)
+
+// fakeNet is a synchronous in-memory message fabric for unit-testing Node
+// logic: Send delivers immediately (recursively), which is fine for the
+// request/reply shapes the protocol uses.
+type fakeNet struct {
+	nodes   map[directory.PeerID]*Node
+	offline map[directory.PeerID]bool
+	now     time.Duration
+	rng     *rand.Rand
+	sent    []sentMsg
+	drop    func(to directory.PeerID, m *Message) bool
+}
+
+type sentMsg struct {
+	from, to directory.PeerID
+	msg      *Message
+}
+
+func newFakeNet(seed int64) *fakeNet {
+	return &fakeNet{
+		nodes:   make(map[directory.PeerID]*Node),
+		offline: make(map[directory.PeerID]bool),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// env binds a fakeNet to one node id.
+type fakeEnv struct {
+	net *fakeNet
+	id  directory.PeerID
+}
+
+func (e *fakeEnv) Now() time.Duration            { return e.net.now }
+func (e *fakeEnv) Rand() *rand.Rand              { return e.net.rng }
+func (e *fakeEnv) IntervalChanged(time.Duration) {}
+
+func (e *fakeEnv) Send(to directory.PeerID, m *Message) error {
+	if e.net.offline[to] {
+		return errors.New("offline")
+	}
+	if e.net.drop != nil && e.net.drop(to, m) {
+		return nil // silently dropped (lost in transit)
+	}
+	e.net.sent = append(e.net.sent, sentMsg{from: e.id, to: to, msg: m})
+	if n, ok := e.net.nodes[to]; ok {
+		n.Receive(e.id, m)
+	}
+	return nil
+}
+
+func (f *fakeNet) addNode(id directory.PeerID, capacity int, cfg Config) *Node {
+	rec := directory.Record{ID: id, Class: directory.Fast, DiffSize: 100, PayloadSize: 1000}
+	dir := directory.New(id, capacity)
+	n := NewNode(rec, dir, cfg, &fakeEnv{net: f, id: id})
+	f.nodes[id] = n
+	return n
+}
+
+// connect makes every node know every other's record and quiesces.
+func (f *fakeNet) connect() {
+	var recs []directory.Record
+	for _, n := range f.nodes {
+		recs = append(recs, n.SelfRecord())
+	}
+	for _, n := range f.nodes {
+		for _, r := range recs {
+			n.Directory().Upsert(r)
+		}
+		n.Quiesce()
+	}
+}
+
+func TestNewNodeActivatesJoinRumor(t *testing.T) {
+	f := newFakeNet(1)
+	n := f.addNode(0, 4, Config{})
+	if n.ActiveRumors() != 1 {
+		t.Fatalf("ActiveRumors = %d, want 1 (join announcement)", n.ActiveRumors())
+	}
+	rec, ok := n.Directory().Get(0)
+	if !ok || rec.Ver != (directory.Version{Epoch: 1, Seq: 0}) {
+		t.Fatalf("self record = %+v %v", rec, ok)
+	}
+}
+
+func TestRumorPropagatesAndAcks(t *testing.T) {
+	f := newFakeNet(2)
+	a := f.addNode(0, 4, Config{})
+	b := f.addNode(1, 4, Config{})
+	f.connect()
+
+	a.Publish(300, 3000, nil)
+	if a.ActiveRumors() != 1 {
+		t.Fatalf("publish did not activate rumor")
+	}
+	a.Tick() // only possible target is b
+	if got := b.Directory().VersionOf(0); got != (directory.Version{Epoch: 1, Seq: 1}) {
+		t.Fatalf("b's view of a = %v", got)
+	}
+	// b should now itself be spreading the rumor.
+	if b.ActiveRumors() != 1 {
+		t.Fatalf("b.ActiveRumors = %d, want 1", b.ActiveRumors())
+	}
+	// Repeated known-acks from the same peer must NOT retire the rumor
+	// (Demers counts distinct "peers in a row").
+	for i := 0; i < 10; i++ {
+		a.Tick()
+	}
+	if a.ActiveRumors() != 1 {
+		t.Fatalf("rumor retired against a single repeated contact: %d active", a.ActiveRumors())
+	}
+	// Three distinct already-knowing ackers do retire it.
+	rid := RumorID{Peer: 0, Ver: directory.Version{Epoch: 1, Seq: 1}}
+	// (b == peer 1 was the last acker, so start with other peers.)
+	for _, from := range []directory.PeerID{2, 3, 1} {
+		a.Receive(from, &Message{Type: MsgRumorAck, From: from,
+			Acked: []RumorID{rid}, Known: []bool{true}})
+	}
+	if a.ActiveRumors() != 0 {
+		t.Fatalf("rumor did not retire after 3 distinct known-acks: %d active", a.ActiveRumors())
+	}
+	if a.Stats().Retired != 1 {
+		t.Fatalf("Retired = %d, want 1", a.Stats().Retired)
+	}
+}
+
+func TestSupersededRumorReplaced(t *testing.T) {
+	f := newFakeNet(3)
+	a := f.addNode(0, 4, Config{})
+	f.addNode(1, 4, Config{})
+	f.connect()
+	a.Publish(10, 100, nil)
+	a.Publish(20, 200, nil)
+	if a.ActiveRumors() != 1 {
+		t.Fatalf("superseding publish should keep one active rumor, got %d", a.ActiveRumors())
+	}
+}
+
+func TestAntiEntropyCuresResidual(t *testing.T) {
+	f := newFakeNet(4)
+	a := f.addNode(0, 8, Config{})
+	b := f.addNode(1, 8, Config{})
+	c := f.addNode(2, 8, Config{})
+	f.connect()
+
+	// a learns something new but never rumors to c.
+	a.Publish(50, 500, nil)
+	// Deliver the rumor to b only, manually.
+	b.Receive(0, &Message{Type: MsgRumor, From: 0, Updates: []directory.Record{mustGet(t, a, 0)}})
+	if c.Directory().VersionOf(0).Seq != 0 {
+		t.Fatal("c should not know yet")
+	}
+	// c runs an anti-entropy round against b: request -> summary -> pull
+	// -> records, all synchronous in fakeNet.
+	c.Receive(1, &Message{
+		Type: MsgAESummary, From: 1,
+		Digest:   b.Directory().Digest(),
+		Summary:  b.Directory().Summary(),
+		NumKnown: b.Directory().NumKnown(),
+	})
+	if got := c.Directory().VersionOf(0); got.Seq != 1 {
+		t.Fatalf("anti-entropy did not cure residual: c's view = %v", got)
+	}
+}
+
+func TestPartialAntiEntropyPull(t *testing.T) {
+	f := newFakeNet(5)
+	a := f.addNode(0, 8, Config{})
+	b := f.addNode(1, 8, Config{})
+	f.connect()
+
+	// b learns and fully retires a rumor about peer 0's update without a
+	// ever... construct directly: feed b a record for a newer version of
+	// a fake peer record (peer id 2 known to both via connect? add it).
+	rec := directory.Record{ID: 2, Ver: directory.Version{Epoch: 1, Seq: 5}, DiffSize: 10, PayloadSize: 100}
+	b.Directory().Upsert(rec)
+	b.mu.Lock()
+	b.retireLocked(2, rec.Ver) // as if the rumor died at b
+	b.mu.Unlock()
+
+	// a sends b a rumor; b's ack piggybacks the retired id; a pulls.
+	a.Publish(10, 100, nil)
+	a.Tick()
+	if got := a.Directory().VersionOf(2); got != rec.Ver {
+		t.Fatalf("partial anti-entropy failed: a's view of 2 = %v, want %v", got, rec.Ver)
+	}
+	if a.Stats().PullsSent == 0 {
+		t.Fatal("no pull was sent")
+	}
+}
+
+func TestPiggybackDisabled(t *testing.T) {
+	f := newFakeNet(6)
+	cfg := Config{PiggybackCount: -1} // LAN-NPA ablation
+	a := f.addNode(0, 8, cfg)
+	b := f.addNode(1, 8, cfg)
+	f.connect()
+	rec := directory.Record{ID: 2, Ver: directory.Version{Epoch: 1, Seq: 5}}
+	b.Directory().Upsert(rec)
+	b.mu.Lock()
+	b.retireLocked(2, rec.Ver)
+	b.mu.Unlock()
+	if len(b.retired) != 0 {
+		t.Fatal("retired ring should stay empty when piggyback disabled")
+	}
+	a.Publish(10, 100, nil)
+	a.Tick()
+	if a.Directory().VersionOf(2) == rec.Ver {
+		t.Fatal("update leaked without partial anti-entropy")
+	}
+}
+
+func TestAdaptiveIntervalSlowsAndResets(t *testing.T) {
+	f := newFakeNet(7)
+	a := f.addNode(0, 4, Config{})
+	b := f.addNode(1, 4, Config{})
+	f.connect()
+	base := a.Interval()
+	if base != 30*time.Second {
+		t.Fatalf("base interval = %v", base)
+	}
+	// Converged: ticks are all AE (no rumors) and directories identical.
+	// Two gossip-less contacts -> one slow-down step (+5s).
+	for i := 0; i < 4; i++ {
+		a.Tick()
+	}
+	if got := a.Interval(); got != 40*time.Second {
+		t.Fatalf("after 4 identical AE contacts interval = %v, want 40s", got)
+	}
+	// Keep going: capped at MaxInterval.
+	for i := 0; i < 40; i++ {
+		a.Tick()
+	}
+	if got := a.Interval(); got != 60*time.Second {
+		t.Fatalf("interval cap = %v, want 60s", got)
+	}
+	// News resets to base.
+	b.Publish(10, 100, nil)
+	b.Tick()
+	if got := a.Interval(); got != base {
+		t.Fatalf("interval after news = %v, want %v", got, base)
+	}
+}
+
+func TestOfflineDetectionOnSendFailure(t *testing.T) {
+	f := newFakeNet(8)
+	a := f.addNode(0, 4, Config{})
+	f.addNode(1, 4, Config{})
+	f.connect()
+	f.offline[1] = true
+	a.Publish(10, 100, nil)
+	a.Tick()
+	e, ok := a.Directory().Entry(1)
+	if !ok || e.Online {
+		t.Fatalf("failed send should mark peer offline: %+v", e)
+	}
+	if a.Stats().FailedSends != 1 {
+		t.Fatalf("FailedSends = %d", a.Stats().FailedSends)
+	}
+	// Hearing from the peer again flips it back.
+	f.offline[1] = false
+	a.Receive(1, &Message{Type: MsgAERequest, From: 1, Digest: 0})
+	e, _ = a.Directory().Entry(1)
+	if !e.Online {
+		t.Fatal("receive should mark peer online")
+	}
+}
+
+func TestRejoinSupersedes(t *testing.T) {
+	f := newFakeNet(9)
+	a := f.addNode(0, 4, Config{})
+	b := f.addNode(1, 4, Config{})
+	f.connect()
+	a.Publish(10, 100, nil) // ver 1.1
+	rec := a.Rejoin(0, 0, nil)
+	if rec.Ver != (directory.Version{Epoch: 2, Seq: 0}) {
+		t.Fatalf("rejoin version = %v", rec.Ver)
+	}
+	// Old version must lose to the rejoin announcement.
+	b.Directory().Upsert(rec)
+	if b.Directory().Upsert(directory.Record{ID: 0, Ver: directory.Version{Epoch: 1, Seq: 1}}) {
+		t.Fatal("stale pre-rejoin record accepted")
+	}
+}
+
+func TestAEOnlyModeNeverRumors(t *testing.T) {
+	f := newFakeNet(10)
+	cfg := Config{Mode: ModeAEOnly}
+	a := f.addNode(0, 4, cfg)
+	b := f.addNode(1, 4, cfg)
+	f.connect()
+	a.Publish(10, 100, nil)
+	for i := 0; i < 5; i++ {
+		a.Tick()
+	}
+	if a.Stats().RumorsSent != 0 {
+		t.Fatalf("AE-only node sent %d rumors", a.Stats().RumorsSent)
+	}
+	if a.Stats().AESummaries == 0 {
+		t.Fatal("AE-only node sent no summaries")
+	}
+	// The push-AE still propagates the update (b pulls from a).
+	if got := b.Directory().VersionOf(0); got.Seq != 1 {
+		t.Fatalf("push AE did not propagate: %v", got)
+	}
+}
+
+func TestSelfRecordImmuneToGossip(t *testing.T) {
+	f := newFakeNet(11)
+	a := f.addNode(0, 4, Config{})
+	f.connect()
+	// A (bogus) newer record about ourselves must be ignored.
+	a.Receive(1, &Message{Type: MsgRecords, From: 1, Updates: []directory.Record{
+		{ID: 0, Ver: directory.Version{Epoch: 99, Seq: 0}},
+	}})
+	if got := a.SelfRecord().Ver; got.Epoch != 1 {
+		t.Fatalf("self record mutated: %v", got)
+	}
+}
+
+func TestTDeadDropsLongOfflinePeers(t *testing.T) {
+	f := newFakeNet(12)
+	cfg := Config{TDead: time.Hour}
+	a := f.addNode(0, 8, cfg)
+	f.addNode(1, 8, cfg)
+	f.connect()
+	// Peer 1 goes silent; a discovers it via a failed send.
+	f.offline[1] = true
+	a.Publish(10, 100, nil)
+	a.Tick()
+	if e, _ := a.Directory().Entry(1); e.Online {
+		t.Fatal("not marked offline")
+	}
+	// Within T_Dead the record survives the periodic sweep.
+	f.now = 30 * time.Minute
+	for i := 0; i < 20; i++ {
+		a.Tick()
+	}
+	if _, ok := a.Directory().Get(1); !ok {
+		t.Fatal("record dropped before T_Dead")
+	}
+	// Past T_Dead it is garbage collected (Section 3: assumed to have
+	// left permanently).
+	f.now = 2 * time.Hour
+	for i := 0; i < 20; i++ {
+		a.Tick()
+	}
+	if _, ok := a.Directory().Get(1); ok {
+		t.Fatal("record survived past T_Dead")
+	}
+}
+
+func TestWireSizes(t *testing.T) {
+	s := DefaultSizes()
+	rumor := &Message{Type: MsgRumor, Updates: []directory.Record{{DiffSize: 3000}}}
+	if got := rumor.WireSize(s); got != 3+48+3000 {
+		t.Fatalf("rumor size = %d", got)
+	}
+	ack := &Message{Type: MsgRumorAck,
+		Acked: make([]RumorID, 2), Known: make([]bool, 2), Recent: make([]RumorID, 10)}
+	if got := ack.WireSize(s); got != 3+1+2*6+10*6 {
+		t.Fatalf("ack size = %d", got)
+	}
+	// The paper promises the piggyback is "in order of tens of bytes".
+	if got := ack.WireSize(s) - 3 - 1 - 2*6; got > 100 {
+		t.Fatalf("piggyback too big: %d", got)
+	}
+	summ := &Message{Type: MsgAESummary, NumKnown: 1000}
+	if got := summ.WireSize(s); got != 3+8+1000*6 {
+		t.Fatalf("summary size = %d (must be proportional to community)", got)
+	}
+	ident := &Message{Type: MsgAESummary, NumKnown: 1000, Identical: true}
+	if got := ident.WireSize(s); got != 3+8 {
+		t.Fatalf("identical summary size = %d (checksum-only)", got)
+	}
+	req := &Message{Type: MsgAERequest}
+	if got := req.WireSize(s); got != 11 {
+		t.Fatalf("request size = %d", got)
+	}
+	recs := &Message{Type: MsgRecords,
+		Updates: []directory.Record{{DiffSize: 100, PayloadSize: 1000}, {DiffSize: 100, PayloadSize: 1000}},
+		AsDiff:  []bool{true, false}}
+	if got := recs.WireSize(s); got != 3+48+100+48+1000 {
+		t.Fatalf("records size = %d", got)
+	}
+	pull := &Message{Type: MsgPull, Need: make([]directory.NeedEntry, 3)}
+	if got := pull.WireSize(s); got != 3+18 {
+		t.Fatalf("pull size = %d", got)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.BaseInterval != 30*time.Second || c.MaxInterval != 60*time.Second ||
+		c.SlowdownStep != 5*time.Second || c.GossiplessThreshold != 2 ||
+		c.AEEvery != 10 || c.RumorTTL != 3 || c.PiggybackCount != 10 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	if c.Sizes != DefaultSizes() {
+		t.Fatalf("sizes = %+v", c.Sizes)
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	for mt := MsgRumor; mt <= MsgAESummary; mt++ {
+		if mt.String() == "unknown" {
+			t.Fatalf("missing String for %d", mt)
+		}
+	}
+	if MsgType(99).String() != "unknown" {
+		t.Fatal("unknown type should say so")
+	}
+}
+
+func mustGet(t *testing.T, n *Node, id directory.PeerID) directory.Record {
+	t.Helper()
+	rec, ok := n.Directory().Get(id)
+	if !ok {
+		t.Fatalf("record %d missing", id)
+	}
+	return rec
+}

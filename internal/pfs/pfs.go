@@ -1,0 +1,258 @@
+// Package pfs implements PFS, the personal semantic file system of
+// Section 6: files live in the local file system; publishing a file makes
+// it content-searchable by the whole community; directories are defined
+// by queries and fill themselves via PlanetP's persistent-query upcalls.
+//
+// PFS has the paper's three components: the File Server (a minimal HTTP
+// server that maps local paths to URLs and serves file contents), the PFS
+// Core (publication and directory logic, this package), and the Explorer
+// GUI — which we replace with the programmatic API plus the interactive
+// cmd/planetp-node shell, the only substitution in this subsystem.
+package pfs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/xml"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"planetp/internal/core"
+	"planetp/internal/directory"
+	"planetp/internal/doc"
+	"planetp/internal/search"
+)
+
+// Entry is one file visible in a semantic directory.
+type Entry struct {
+	// Name is the file's base name as published.
+	Name string
+	// URL serves the file's content from its owner's File Server.
+	URL string
+	// Key is the PlanetP document key of the file's snippet.
+	Key string
+	// Peer is the owner.
+	Peer directory.PeerID
+}
+
+// FS is one user's PFS instance on top of a PlanetP peer.
+type FS struct {
+	peer *core.Peer
+
+	// File server state.
+	httpLn  net.Listener
+	httpSrv *http.Server
+	filesMu sync.Mutex
+	files   map[string]string // file id -> local path
+
+	dirsMu sync.Mutex
+	dirs   map[string]*Dir
+
+	// StaleThreshold forces a full re-query when a directory is opened
+	// after being idle this long (the paper's removal strategy).
+	StaleThreshold time.Duration
+	clock          func() time.Time
+}
+
+// New mounts a PFS over peer and starts its File Server on loopback.
+func New(peer *core.Peer) (*FS, error) {
+	fs := &FS{
+		peer:           peer,
+		files:          make(map[string]string),
+		dirs:           make(map[string]*Dir),
+		StaleThreshold: time.Minute,
+		clock:          time.Now,
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("pfs: file server: %w", err)
+	}
+	fs.httpLn = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("/files/", fs.serveFile)
+	fs.httpSrv = &http.Server{Handler: mux}
+	go fs.httpSrv.Serve(ln)
+	return fs, nil
+}
+
+// Close shuts down the File Server (the peer is owned by the caller).
+func (fs *FS) Close() {
+	_ = fs.httpSrv.Close()
+	fs.dirsMu.Lock()
+	defer fs.dirsMu.Unlock()
+	for _, d := range fs.dirs {
+		d.cancel()
+	}
+}
+
+// fileID derives the stable id a path serves under.
+func fileID(path string) string {
+	sum := sha256.Sum256([]byte(path))
+	return hex.EncodeToString(sum[:8])
+}
+
+// URLFor returns the URL the File Server exports path under (the paper's
+// "return a URL when given a local pathname").
+func (fs *FS) URLFor(path string) string {
+	id := fileID(path)
+	fs.filesMu.Lock()
+	fs.files[id] = path
+	fs.filesMu.Unlock()
+	return fmt.Sprintf("http://%s/files/%s", fs.httpLn.Addr(), id)
+}
+
+// serveFile answers GET /files/<id> with the file's content.
+func (fs *FS) serveFile(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/files/")
+	fs.filesMu.Lock()
+	path, ok := fs.files[id]
+	fs.filesMu.Unlock()
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	http.ServeFile(w, r, path)
+}
+
+// fileSnippet is the XML form a published file takes.
+type fileSnippet struct {
+	XMLName xml.Name `xml:"pfsfile"`
+	Name    string   `xml:"name,attr"`
+	Href    string   `xml:"href,attr"`
+	Content string   `xml:",chardata"`
+}
+
+// PublishFile shares a local file: the File Server exports it, an XML
+// snippet embedding its URL and content is published to PlanetP (which
+// indexes it and, with dual publication enabled on the peer, pushes its
+// top terms to the brokerage).
+func (fs *FS) PublishFile(path string) (*doc.Document, error) {
+	content, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("pfs: %w", err)
+	}
+	sn := fileSnippet{
+		Name:    filepath.Base(path),
+		Href:    fs.URLFor(path),
+		Content: string(content),
+	}
+	raw, err := xml.Marshal(sn)
+	if err != nil {
+		return nil, fmt.Errorf("pfs: %w", err)
+	}
+	return fs.peer.Publish(string(raw))
+}
+
+// Dir is a semantic directory: the set of community files matching a
+// query, kept current by persistent-query upcalls plus staleness-driven
+// re-queries.
+type Dir struct {
+	// Query defines the directory.
+	Query string
+
+	fs     *FS
+	mu     sync.Mutex
+	byKey  map[string]Entry
+	last   time.Time
+	cancel func()
+}
+
+// MkDir creates (or returns) the semantic directory for query. Matching
+// files appear automatically as their publications gossip in.
+func (fs *FS) MkDir(query string) *Dir {
+	fs.dirsMu.Lock()
+	if d, ok := fs.dirs[query]; ok {
+		fs.dirsMu.Unlock()
+		return d
+	}
+	d := &Dir{Query: query, fs: fs, byKey: make(map[string]Entry), last: fs.clock()}
+	fs.dirs[query] = d
+	fs.dirsMu.Unlock()
+	d.cancel = fs.peer.PostPersistentQuery(query, d.add)
+	return d
+}
+
+// Refine creates the subdirectory for an additional query term set —
+// equivalent to refining the containing directory's query (Section 6).
+func (d *Dir) Refine(subquery string) *Dir {
+	return d.fs.MkDir(strings.TrimSpace(d.Query + " " + subquery))
+}
+
+// add processes one persistent-query upcall.
+func (d *Dir) add(res search.DocResult) {
+	entry, ok := d.fs.entryFor(res)
+	if !ok {
+		return
+	}
+	d.mu.Lock()
+	d.byKey[res.Key] = entry
+	d.last = d.fs.clock()
+	d.mu.Unlock()
+}
+
+// entryFor fetches and parses a result's snippet into an Entry.
+func (fs *FS) entryFor(res search.DocResult) (Entry, bool) {
+	raw, err := fs.peer.FetchDocument(res.Peer, res.Key)
+	if err != nil {
+		return Entry{}, false // owner gone: best effort
+	}
+	var sn fileSnippet
+	if err := xml.Unmarshal([]byte(raw), &sn); err != nil || sn.Name == "" {
+		return Entry{}, false // not a PFS file snippet
+	}
+	return Entry{Name: sn.Name, URL: sn.Href, Key: res.Key, Peer: res.Peer}, true
+}
+
+// Open lists the directory. If the directory has not been updated within
+// the staleness threshold, the entire query is re-run first to drop
+// entries for deleted or modified files (the paper's removal strategy).
+func (d *Dir) Open() []Entry {
+	d.mu.Lock()
+	stale := d.fs.clock().Sub(d.last) > d.fs.StaleThreshold
+	d.mu.Unlock()
+	if stale {
+		d.Rebuild()
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Entry, 0, len(d.byKey))
+	for _, e := range d.byKey {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Rebuild re-runs the full exhaustive query and replaces the entry set.
+func (d *Dir) Rebuild() {
+	results := d.fs.peer.SearchAll(d.Query)
+	fresh := make(map[string]Entry, len(results))
+	for _, res := range results {
+		if e, ok := d.fs.entryFor(res); ok {
+			fresh[res.Key] = e
+		}
+	}
+	d.mu.Lock()
+	d.byKey = fresh
+	d.last = d.fs.clock()
+	d.mu.Unlock()
+}
+
+// Len returns the current entry count without refreshing.
+func (d *Dir) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.byKey)
+}

@@ -1,0 +1,210 @@
+package pfs
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"planetp/internal/core"
+	"planetp/internal/directory"
+	"planetp/internal/gossip"
+)
+
+func fastGossip() gossip.Config {
+	return gossip.Config{
+		BaseInterval: 25 * time.Millisecond,
+		MaxInterval:  100 * time.Millisecond,
+		SlowdownStep: 25 * time.Millisecond,
+	}
+}
+
+func livePFS(t *testing.T, n int) []*FS {
+	t.Helper()
+	out := make([]*FS, n)
+	var seedAddr string
+	for i := 0; i < n; i++ {
+		p, err := core.NewPeer(core.Config{
+			ID: directory.PeerID(i), Capacity: n,
+			Gossip:        fastGossip(),
+			Seed:          int64(i + 1),
+			BrokerTopFrac: 0.1,
+			BrokerDiscard: 10 * time.Minute,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(p.Stop)
+		if i == 0 {
+			seedAddr = p.Addr()
+		} else if err := p.Join(seedAddr); err != nil {
+			t.Fatal(err)
+		}
+		fs, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(fs.Close)
+		out[i] = fs
+		p.Start()
+	}
+	// Wait for membership.
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		ok := true
+		for _, fs := range out {
+			if fs.peer.Directory().NumKnown() != n {
+				ok = false
+			}
+		}
+		if ok {
+			return out
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("membership did not converge")
+	return nil
+}
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestPublishFileAndServe(t *testing.T) {
+	fss := livePFS(t, 2)
+	tmp := t.TempDir()
+	path := writeFile(t, tmp, "notes.txt", "gossiping replicates directories everywhere")
+	d, err := fss[0].PublishFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ID == "" {
+		t.Fatal("no doc id")
+	}
+	// The File Server must serve the exported URL.
+	url := fss[0].URLFor(path)
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "gossiping replicates directories everywhere" {
+		t.Fatalf("served %q", body)
+	}
+	// Unknown ids 404.
+	resp2, err := http.Get(url + "bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d for unknown file", resp2.StatusCode)
+	}
+}
+
+func TestSemanticDirectoryFills(t *testing.T) {
+	fss := livePFS(t, 3)
+	tmp := t.TempDir()
+	dir := fss[2].MkDir("kernel scheduler")
+
+	// Publish matching and non-matching files at other peers.
+	fss[0].PublishFile(writeFile(t, tmp, "sched.txt", "the kernel scheduler balances runqueues"))
+	fss[1].PublishFile(writeFile(t, tmp, "recipe.txt", "tomato soup with basil"))
+
+	waitFor(t, 15*time.Second, "directory to fill", func() bool { return dir.Len() >= 1 })
+	entries := dir.Open()
+	if len(entries) != 1 || entries[0].Name != "sched.txt" {
+		t.Fatalf("entries = %+v", entries)
+	}
+	if entries[0].URL == "" || entries[0].Peer != 0 {
+		t.Fatalf("entry metadata: %+v", entries[0])
+	}
+	// The listed URL must be fetchable from the owner's File Server.
+	resp, err := http.Get(entries[0].URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s -> %d", entries[0].URL, resp.StatusCode)
+	}
+}
+
+func TestDirectoryStaleRebuildDropsRemoved(t *testing.T) {
+	fss := livePFS(t, 2)
+	tmp := t.TempDir()
+	path := writeFile(t, tmp, "gone.txt", "ephemeral matter vanishes quickly")
+	d0, err := fss[0].PublishFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := fss[1].MkDir("ephemeral matter")
+	waitFor(t, 15*time.Second, "entry to appear", func() bool { return dir.Len() == 1 })
+
+	// Owner unpublishes; a stale Open must re-run the query and drop it.
+	if !fss[0].peer.Remove(d0.ID) {
+		t.Fatal("remove failed")
+	}
+	fss[1].StaleThreshold = 0 // every Open is stale
+	waitFor(t, 15*time.Second, "entry to disappear", func() bool {
+		return len(dir.Open()) == 0
+	})
+}
+
+func TestRefineCreatesSubdirectory(t *testing.T) {
+	fss := livePFS(t, 2)
+	parent := fss[0].MkDir("distributed")
+	child := parent.Refine("hashing")
+	if child.Query != "distributed hashing" {
+		t.Fatalf("refined query = %q", child.Query)
+	}
+	// Same query returns the same directory object.
+	again := fss[0].MkDir("distributed hashing")
+	if again != child {
+		t.Fatal("MkDir not idempotent per query")
+	}
+}
+
+func TestMkDirSeesPreexistingFiles(t *testing.T) {
+	fss := livePFS(t, 2)
+	tmp := t.TempDir()
+	fss[0].PublishFile(writeFile(t, tmp, "old.txt", "ancient manuscripts survive digitization"))
+	// Wait for gossip so peer 1's directory has the filter.
+	waitFor(t, 15*time.Second, "filter propagation", func() bool {
+		return len(fss[1].peer.SearchAll("ancient manuscripts")) == 1
+	})
+	dir := fss[1].MkDir("ancient manuscripts")
+	waitFor(t, 15*time.Second, "pre-existing file listed", func() bool {
+		return dir.Len() == 1
+	})
+	if got := dir.Open(); len(got) != 1 || got[0].Name != "old.txt" {
+		t.Fatalf("entries = %+v", got)
+	}
+}
+
+func TestPublishFileErrors(t *testing.T) {
+	fss := livePFS(t, 2)
+	if _, err := fss[0].PublishFile("/no/such/file.txt"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

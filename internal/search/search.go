@@ -1,0 +1,300 @@
+// Package search implements PlanetP's content search and retrieval engine
+// (Section 5): exhaustive (conjunctive) search over the gossiped Bloom
+// filters, the TFxIPF vector-space ranking that approximates TFxIDF using
+// only Bloom-filter summaries, the adaptive stopping heuristic (equation
+// 4), and persistent queries.
+package search
+
+import (
+	"math"
+	"sort"
+
+	"planetp/internal/directory"
+)
+
+// FilterView is the searcher's read-only view of the community's Bloom
+// filters (its local directory replica, or the IR simulator's synthetic
+// community).
+type FilterView interface {
+	// Peers returns the searchable peers (typically those believed
+	// on-line, or all peers in an optimistic off-line-aware search).
+	Peers() []directory.PeerID
+	// Contains reports whether peer id's Bloom filter may contain term.
+	Contains(id directory.PeerID, term string) bool
+}
+
+// DocResult is one document returned by a peer's local index in response
+// to a query: the per-term frequencies and length needed for equation 2.
+type DocResult struct {
+	// Peer holds the document.
+	Peer directory.PeerID
+	// Key identifies the document globally (content hash).
+	Key string
+	// TermFreqs maps each query term to f_{D,t} (absent = 0).
+	TermFreqs map[string]int
+	// DocLen is |D|, the number of terms in the document.
+	DocLen int
+}
+
+// Fetcher executes a query against one peer's local index. Live mode goes
+// over the network; simulations call in-process. An error means the peer
+// was unreachable; the searcher skips it.
+type Fetcher interface {
+	// QueryPeer returns the peer's documents containing at least one of
+	// terms (for ranked search) along with ranking statistics.
+	QueryPeer(id directory.PeerID, terms []string) ([]DocResult, error)
+	// QueryPeerAll returns only documents containing every term
+	// (exhaustive search).
+	QueryPeerAll(id directory.PeerID, terms []string) ([]DocResult, error)
+}
+
+// IPF computes the inverse peer frequency for each term (Section 5.2):
+// IPF_t = log(1 + N/N_t), where N is the community size and N_t the number
+// of peers whose Bloom filter contains t. Terms hit by no peer are given
+// IPF 0 (they cannot contribute to any peer's rank anyway).
+func IPF(view FilterView, terms []string) map[string]float64 {
+	peers := view.Peers()
+	n := float64(len(peers))
+	out := make(map[string]float64, len(terms))
+	for _, t := range terms {
+		nt := 0
+		for _, id := range peers {
+			if view.Contains(id, t) {
+				nt++
+			}
+		}
+		if nt == 0 {
+			out[t] = 0
+			continue
+		}
+		out[t] = math.Log(1 + n/float64(nt))
+	}
+	return out
+}
+
+// PeerRank is one peer's relevance to a query (equation 3).
+type PeerRank struct {
+	Peer  directory.PeerID
+	Score float64
+}
+
+// RankPeers orders peers by R_i(Q) = sum of IPF_t over query terms t in
+// BF_i (equation 3), descending; ties break by peer id for determinism.
+// Peers with score 0 (no query term hits) are omitted.
+func RankPeers(view FilterView, terms []string, ipf map[string]float64) []PeerRank {
+	peers := view.Peers()
+	out := make([]PeerRank, 0, len(peers))
+	for _, id := range peers {
+		score := 0.0
+		for _, t := range terms {
+			if ipf[t] > 0 && view.Contains(id, t) {
+				score += ipf[t]
+			}
+		}
+		if score > 0 {
+			out = append(out, PeerRank{Peer: id, Score: score})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Peer < out[j].Peer
+	})
+	return out
+}
+
+// ScoreDoc computes equation 2 with IPF substituted for IDF:
+//
+//	Sim(Q,D) = Σ_{t∈Q} w_{D,t} × IPF_t / sqrt(|D|),  w_{D,t} = 1+log(f_{D,t})
+func ScoreDoc(d DocResult, ipf map[string]float64) float64 {
+	if d.DocLen <= 0 {
+		return 0
+	}
+	sum := 0.0
+	for t, f := range d.TermFreqs {
+		if f <= 0 {
+			continue
+		}
+		w := 1 + math.Log(float64(f))
+		sum += w * ipf[t]
+	}
+	return sum / math.Sqrt(float64(d.DocLen))
+}
+
+// ScoredDoc is a ranked search hit.
+type ScoredDoc struct {
+	DocResult
+	Score float64
+}
+
+// StopP computes equation 4's stopping window: the number of consecutive
+// non-contributing peers tolerated before the search stops,
+// p = floor(2 + N/300) + 2*floor(k/50).
+func StopP(n, k int) int {
+	return 2 + n/300 + 2*(k/50)
+}
+
+// Stats reports what a ranked search cost.
+type Stats struct {
+	// PeersRanked is the number of candidate peers (non-zero rank).
+	PeersRanked int
+	// PeersContacted is how many peers were actually queried.
+	PeersContacted int
+	// DocsRetrieved counts documents fetched (before top-k truncation).
+	DocsRetrieved int
+	// StoppedEarly reports whether the adaptive rule fired (vs running
+	// out of candidates).
+	StoppedEarly bool
+}
+
+// Options tunes a ranked search.
+type Options struct {
+	// K is the number of documents the user wants.
+	K int
+	// GroupSize contacts peers in groups of m to trade extra contacts
+	// for lower latency (Section 5.2); 0/1 = one by one.
+	GroupSize int
+	// StopWindow overrides equation 4 when > 0 (used by ablations).
+	StopWindow int
+	// NoAdaptiveStop disables the heuristic entirely: contact peers
+	// until k documents are retrieved (the naive rule the paper says
+	// performs terribly).
+	NoAdaptiveStop bool
+}
+
+// Ranked runs the full TFxIPF selective search (Section 5.2): rank peers
+// by equation 3, contact them in rank order, rank their documents by
+// equation 2, and stop when p consecutive peers fail to contribute to the
+// current top k.
+func Ranked(view FilterView, fetch Fetcher, terms []string, opt Options) ([]ScoredDoc, Stats) {
+	var st Stats
+	if opt.K <= 0 || len(terms) == 0 {
+		return nil, st
+	}
+	ipf := IPF(view, terms)
+	ranked := RankPeers(view, terms, ipf)
+	st.PeersRanked = len(ranked)
+
+	p := opt.StopWindow
+	if p <= 0 {
+		p = StopP(len(view.Peers()), opt.K)
+	}
+	group := opt.GroupSize
+	if group <= 0 {
+		group = 1
+	}
+
+	var top []ScoredDoc // sorted descending, truncated to K
+	seen := make(map[string]bool)
+	noContrib := 0
+
+	for i := 0; i < len(ranked); i += group {
+		end := i + group
+		if end > len(ranked) {
+			end = len(ranked)
+		}
+		contributed := false
+		for _, pr := range ranked[i:end] {
+			docs, err := fetch.QueryPeer(pr.Peer, terms)
+			st.PeersContacted++
+			if err != nil {
+				continue
+			}
+			st.DocsRetrieved += len(docs)
+			for _, d := range docs {
+				if seen[d.Key] {
+					continue
+				}
+				seen[d.Key] = true
+				sd := ScoredDoc{DocResult: d, Score: ScoreDoc(d, ipf)}
+				if insertTopK(&top, sd, opt.K) {
+					contributed = true
+				}
+			}
+		}
+		if opt.NoAdaptiveStop {
+			if len(top) >= opt.K {
+				break
+			}
+			continue
+		}
+		// The adaptive rule only arms once an initial k documents are
+		// in hand (Section 5.2).
+		if len(top) >= opt.K {
+			if contributed {
+				noContrib = 0
+			} else {
+				noContrib += end - i
+				if noContrib >= p {
+					st.StoppedEarly = true
+					break
+				}
+			}
+		}
+	}
+	return top, st
+}
+
+// insertTopK inserts sd into the descending top list, keeping at most k
+// entries. It reports whether sd made the cut.
+func insertTopK(top *[]ScoredDoc, sd ScoredDoc, k int) bool {
+	t := *top
+	if len(t) >= k && sd.Score <= t[len(t)-1].Score {
+		return false
+	}
+	i := sort.Search(len(t), func(i int) bool {
+		if t[i].Score != sd.Score {
+			return t[i].Score < sd.Score
+		}
+		return t[i].Key > sd.Key // deterministic tiebreak
+	})
+	t = append(t, ScoredDoc{})
+	copy(t[i+1:], t[i:])
+	t[i] = sd
+	if len(t) > k {
+		t = t[:k]
+	}
+	*top = t
+	return i < k
+}
+
+// Exhaustive runs the conjunctive search of Section 5.1: Bloom filters
+// select the candidate peers (those whose filter contains every term);
+// each candidate is asked for its matching documents. Unreachable peers
+// are skipped. Results are sorted by document key.
+func Exhaustive(view FilterView, fetch Fetcher, terms []string) ([]DocResult, Stats) {
+	var st Stats
+	if len(terms) == 0 {
+		return nil, st
+	}
+	var out []DocResult
+	seen := make(map[string]bool)
+	for _, id := range view.Peers() {
+		all := true
+		for _, t := range terms {
+			if !view.Contains(id, t) {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		st.PeersRanked++
+		docs, err := fetch.QueryPeerAll(id, terms)
+		st.PeersContacted++
+		if err != nil {
+			continue
+		}
+		st.DocsRetrieved += len(docs)
+		for _, d := range docs {
+			if !seen[d.Key] {
+				seen[d.Key] = true
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, st
+}

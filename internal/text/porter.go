@@ -1,0 +1,251 @@
+package text
+
+// Porter stemming algorithm (M.F. Porter, "An algorithm for suffix
+// stripping", Program 14(3), 1980). This is a from-scratch implementation
+// of the original algorithm — the same stemmer the SMART-era collections
+// in the paper were evaluated with.
+//
+// The implementation operates on lowercase ASCII; words containing other
+// bytes are returned unchanged.
+
+// Stem returns the Porter stem of a lowercase word.
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	for i := 0; i < len(word); i++ {
+		c := word[i]
+		if c < 'a' || c > 'z' {
+			return word // digits/mixed tokens pass through unchanged
+		}
+	}
+	w := []byte(word)
+	w = step1a(w)
+	w = step1b(w)
+	w = step1c(w)
+	w = step2(w)
+	w = step3(w)
+	w = step4(w)
+	w = step5a(w)
+	w = step5b(w)
+	return string(w)
+}
+
+// isCons reports whether w[i] is a consonant under Porter's definition:
+// a, e, i, o, u are vowels; y is a vowel iff preceded by a consonant.
+func isCons(w []byte, i int) bool {
+	switch w[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isCons(w, i-1)
+	default:
+		return true
+	}
+}
+
+// measure computes m, the number of VC sequences in w[:k].
+func measure(w []byte) int {
+	n, i := 0, 0
+	// Skip initial consonants.
+	for i < len(w) && isCons(w, i) {
+		i++
+	}
+	for {
+		// Skip vowels.
+		for i < len(w) && !isCons(w, i) {
+			i++
+		}
+		if i >= len(w) {
+			return n
+		}
+		// Skip consonants: one VC sequence complete.
+		for i < len(w) && isCons(w, i) {
+			i++
+		}
+		n++
+		if i >= len(w) {
+			return n
+		}
+	}
+}
+
+// hasVowel reports whether the stem contains a vowel.
+func hasVowel(w []byte) bool {
+	for i := range w {
+		if !isCons(w, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleCons reports whether w ends in a double consonant (e.g. -tt).
+func endsDoubleCons(w []byte) bool {
+	n := len(w)
+	return n >= 2 && w[n-1] == w[n-2] && isCons(w, n-1)
+}
+
+// endsCVC reports whether w ends consonant-vowel-consonant where the final
+// consonant is not w, x or y (Porter's *o condition).
+func endsCVC(w []byte) bool {
+	n := len(w)
+	if n < 3 {
+		return false
+	}
+	if !isCons(w, n-3) || isCons(w, n-2) || !isCons(w, n-1) {
+		return false
+	}
+	switch w[n-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// hasSuffix reports whether w ends with s.
+func hasSuffix(w []byte, s string) bool {
+	if len(w) < len(s) {
+		return false
+	}
+	return string(w[len(w)-len(s):]) == s
+}
+
+// replaceSuffix returns w with suffix old replaced by new (caller must have
+// checked hasSuffix).
+func replaceSuffix(w []byte, old, new string) []byte {
+	return append(w[:len(w)-len(old)], new...)
+}
+
+func step1a(w []byte) []byte {
+	switch {
+	case hasSuffix(w, "sses"):
+		return replaceSuffix(w, "sses", "ss")
+	case hasSuffix(w, "ies"):
+		return replaceSuffix(w, "ies", "i")
+	case hasSuffix(w, "ss"):
+		return w
+	case hasSuffix(w, "s"):
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+func step1b(w []byte) []byte {
+	if hasSuffix(w, "eed") {
+		if measure(w[:len(w)-3]) > 0 {
+			return w[:len(w)-1]
+		}
+		return w
+	}
+	var stem []byte
+	switch {
+	case hasSuffix(w, "ed") && hasVowel(w[:len(w)-2]):
+		stem = w[:len(w)-2]
+	case hasSuffix(w, "ing") && hasVowel(w[:len(w)-3]):
+		stem = w[:len(w)-3]
+	default:
+		return w
+	}
+	// Cleanup after -ed/-ing removal.
+	switch {
+	case hasSuffix(stem, "at"), hasSuffix(stem, "bl"), hasSuffix(stem, "iz"):
+		return append(stem, 'e')
+	case endsDoubleCons(stem):
+		last := stem[len(stem)-1]
+		if last != 'l' && last != 's' && last != 'z' {
+			return stem[:len(stem)-1]
+		}
+		return stem
+	case measure(stem) == 1 && endsCVC(stem):
+		return append(stem, 'e')
+	}
+	return stem
+}
+
+func step1c(w []byte) []byte {
+	if hasSuffix(w, "y") && hasVowel(w[:len(w)-1]) {
+		w[len(w)-1] = 'i'
+	}
+	return w
+}
+
+// suffixRule maps a suffix to its replacement when the stem measure
+// condition holds.
+type suffixRule struct{ from, to string }
+
+var step2Rules = []suffixRule{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+}
+
+var step3Rules = []suffixRule{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func applyRules(w []byte, rules []suffixRule, minMeasure int) []byte {
+	for _, r := range rules {
+		if hasSuffix(w, r.from) {
+			stem := w[:len(w)-len(r.from)]
+			if measure(stem) > minMeasure-1 {
+				return append(stem, r.to...)
+			}
+			return w
+		}
+	}
+	return w
+}
+
+func step2(w []byte) []byte { return applyRules(w, step2Rules, 1) }
+func step3(w []byte) []byte { return applyRules(w, step3Rules, 1) }
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func step4(w []byte) []byte {
+	for _, s := range step4Suffixes {
+		if !hasSuffix(w, s) {
+			continue
+		}
+		stem := w[:len(w)-len(s)]
+		if s == "ion" {
+			// -ion requires the stem to end in s or t.
+			if len(stem) == 0 || (stem[len(stem)-1] != 's' && stem[len(stem)-1] != 't') {
+				return w
+			}
+		}
+		if measure(stem) > 1 {
+			return stem
+		}
+		return w
+	}
+	return w
+}
+
+func step5a(w []byte) []byte {
+	if !hasSuffix(w, "e") {
+		return w
+	}
+	stem := w[:len(w)-1]
+	m := measure(stem)
+	if m > 1 || (m == 1 && !endsCVC(stem)) {
+		return stem
+	}
+	return w
+}
+
+func step5b(w []byte) []byte {
+	if measure(w) > 1 && endsDoubleCons(w) && w[len(w)-1] == 'l' {
+		return w[:len(w)-1]
+	}
+	return w
+}

@@ -1,0 +1,42 @@
+package text
+
+import "strings"
+
+// ScopedTerm renders the index form of a term appearing inside an XML
+// element: "tag:stem". This implements the structured extension the paper
+// plans in footnote 2 ("We will extend PlanetP to make use of the
+// structure provided by XML tags"): documents index each term both bare
+// and scoped, so queries can restrict matches to a specific element.
+func ScopedTerm(tag, word string) string {
+	return strings.ToLower(tag) + ":" + Stem(strings.ToLower(word))
+}
+
+// ParseQuery tokenizes a user query, supporting the scoped syntax
+// "tag:word" alongside plain words. Plain words pass through the standard
+// pipeline (stop-word removal and stemming); scoped words are stemmed but
+// kept even if the bare word is a stop word (inside a named field, the
+// user said it deliberately).
+func ParseQuery(q string) []string {
+	var out []string
+	for _, field := range strings.Fields(q) {
+		tag, word, scoped := strings.Cut(field, ":")
+		if scoped && tag != "" && word != "" {
+			toks := Tokenize(word)
+			tags := Tokenize(tag)
+			if len(toks) == 0 || len(tags) == 0 {
+				continue
+			}
+			out = append(out, ScopedTerm(tags[0], toks[0]))
+			continue
+		}
+		for _, tok := range Tokenize(field) {
+			if IsStopWord(tok) {
+				continue
+			}
+			if s := Stem(tok); len(s) >= 2 {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package text
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseQueryPlain(t *testing.T) {
+	got := ParseQuery("the running gossips")
+	want := []string{"run", "gossip"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestParseQueryScoped(t *testing.T) {
+	got := ParseQuery("title:Gossiping author:smith epidemic")
+	want := []string{"title:gossip", "author:smith", "epidem"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestParseQueryScopedStopWordKept(t *testing.T) {
+	// Inside a named field, the user said the word deliberately.
+	got := ParseQuery("title:the")
+	want := []string{"title:the"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestParseQueryDegenerateScopes(t *testing.T) {
+	if got := ParseQuery(":word"); len(got) != 1 || got[0] != "word" {
+		t.Fatalf("empty tag: %v", got)
+	}
+	if got := ParseQuery("tag:"); len(got) != 1 || got[0] != "tag" {
+		t.Fatalf("empty word: %v", got)
+	}
+	if got := ParseQuery(":::"); len(got) != 0 {
+		t.Fatalf("pure colons: %v", got)
+	}
+	if got := ParseQuery(""); len(got) != 0 {
+		t.Fatalf("empty: %v", got)
+	}
+}
+
+func TestScopedTermMatchesPipeline(t *testing.T) {
+	// The query form must equal the index form: scope lowercased +
+	// pipeline-stemmed word.
+	if got := ScopedTerm("Title", "Gossiping"); got != "title:gossip" {
+		t.Fatalf("ScopedTerm = %q", got)
+	}
+}
+
+// Property: ParseQuery never returns empty terms and never panics.
+func TestQuickParseQueryTotal(t *testing.T) {
+	f := func(q string) bool {
+		for _, term := range ParseQuery(q) {
+			if term == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

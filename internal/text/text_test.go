@@ -1,0 +1,271 @@
+package text
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	got := Tokenize("Hello, World! Foo-bar baz_42.")
+	want := []string{"hello", "world", "foo", "bar", "baz", "42"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestTokenizeDropsShortAndLong(t *testing.T) {
+	long := make([]byte, 70)
+	for i := range long {
+		long[i] = 'a'
+	}
+	got := Tokenize("a I x ok " + string(long))
+	want := []string{"ok"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	got := Tokenize("Café au Lait; naïve résumé")
+	want := []string{"café", "au", "lait", "naïve", "résumé"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	if got := Tokenize(""); len(got) != 0 {
+		t.Fatalf("empty input produced %v", got)
+	}
+	if got := Tokenize("!!! ... ---"); len(got) != 0 {
+		t.Fatalf("punctuation produced %v", got)
+	}
+}
+
+func TestStopWords(t *testing.T) {
+	for _, w := range []string{"the", "of", "and", "is", "a"} {
+		if !IsStopWord(w) {
+			t.Errorf("%q should be a stop word", w)
+		}
+	}
+	for _, w := range []string{"gossip", "bloom", "peer"} {
+		if IsStopWord(w) {
+			t.Errorf("%q should not be a stop word", w)
+		}
+	}
+	if StopWordCount() < 100 {
+		t.Errorf("stop list suspiciously small: %d", StopWordCount())
+	}
+}
+
+// Porter's published example vectors plus the paper's own example
+// (running → run).
+func TestPorterVectors(t *testing.T) {
+	cases := map[string]string{
+		"running":        "run",
+		"caresses":       "caress",
+		"ponies":         "poni",
+		"ties":           "ti",
+		"caress":         "caress",
+		"cats":           "cat",
+		"feed":           "feed",
+		"agreed":         "agre",
+		"plastered":      "plaster",
+		"bled":           "bled",
+		"motoring":       "motor",
+		"sing":           "sing",
+		"conflated":      "conflat",
+		"troubled":       "troubl",
+		"sized":          "size",
+		"hopping":        "hop",
+		"tanned":         "tan",
+		"falling":        "fall",
+		"hissing":        "hiss",
+		"fizzed":         "fizz",
+		"failing":        "fail",
+		"filing":         "file",
+		"happy":          "happi",
+		"sky":            "sky",
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		"triplicate":     "triplic",
+		"formative":      "form",
+		"formalize":      "formal",
+		"electriciti":    "electr",
+		"electrical":     "electr",
+		"hopeful":        "hope",
+		"goodness":       "good",
+		"revival":        "reviv",
+		"allowance":      "allow",
+		"inference":      "infer",
+		"airliner":       "airlin",
+		"gyroscopic":     "gyroscop",
+		"adjustable":     "adjust",
+		"defensible":     "defens",
+		"irritant":       "irrit",
+		"replacement":    "replac",
+		"adjustment":     "adjust",
+		"dependent":      "depend",
+		"adoption":       "adopt",
+		"homologou":      "homolog",
+		"communism":      "commun",
+		"activate":       "activ",
+		"angulariti":     "angular",
+		"homologous":     "homolog",
+		"effective":      "effect",
+		"bowdlerize":     "bowdler",
+		"probate":        "probat",
+		"rate":           "rate",
+		"cease":          "ceas",
+		"controll":       "control",
+		"roll":           "roll",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortAndNonASCII(t *testing.T) {
+	if got := Stem("at"); got != "at" {
+		t.Errorf("short word changed: %q", got)
+	}
+	if got := Stem("résumé"); got != "résumé" {
+		t.Errorf("non-ASCII word changed: %q", got)
+	}
+	if got := Stem("x86"); got != "x86" {
+		t.Errorf("mixed token changed: %q", got)
+	}
+}
+
+func TestStemIdempotentOnCommonWords(t *testing.T) {
+	// Stemming is not idempotent in general, but for a realistic
+	// vocabulary a second application should rarely change anything.
+	words := []string{
+		"gossiping", "peers", "communities", "documents", "searching",
+		"ranked", "retrieval", "indexes", "replication", "bandwidth",
+	}
+	for _, w := range words {
+		once := Stem(w)
+		twice := Stem(once)
+		if once != twice {
+			t.Errorf("Stem not stable for %q: %q -> %q", w, once, twice)
+		}
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	cases := map[string]int{
+		"tr": 0, "ee": 0, "tree": 0, "y": 0, "by": 0,
+		"trouble": 1, "oats": 1, "trees": 1, "ivy": 1,
+		"troubles": 2, "private": 2, "oaten": 2, "orrery": 2,
+	}
+	for in, want := range cases {
+		if got := measure([]byte(in)); got != want {
+			t.Errorf("measure(%q) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestEndsCVC(t *testing.T) {
+	if !endsCVC([]byte("hop")) {
+		t.Error("hop should be CVC")
+	}
+	for _, w := range []string{"snow", "box", "tray", "ee"} {
+		if endsCVC([]byte(w)) {
+			t.Errorf("%q should not satisfy *o", w)
+		}
+	}
+}
+
+func TestTermsPipeline(t *testing.T) {
+	got := Terms("The runners were running quickly through the gossiping communities")
+	// "the", "were", "through" are stop words; rest are stemmed.
+	want := []string{"runner", "run", "quickli", "gossip", "commun"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestTermFreqs(t *testing.T) {
+	freqs := TermFreqs("gossip gossip peers peer")
+	if freqs["gossip"] != 2 {
+		t.Errorf("gossip count = %d, want 2", freqs["gossip"])
+	}
+	if freqs["peer"] != 2 {
+		t.Errorf("peer count = %d (stems of peers+peer), want 2", freqs["peer"])
+	}
+}
+
+// Property: Stem never panics and never returns the empty string for
+// non-empty alphabetic input.
+func TestQuickStemTotal(t *testing.T) {
+	f := func(raw []byte) bool {
+		w := make([]byte, 0, len(raw))
+		for _, b := range raw {
+			w = append(w, 'a'+b%26)
+		}
+		if len(w) == 0 {
+			return true
+		}
+		s := Stem(string(w))
+		return len(s) > 0 && len(s) <= len(w)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the pipeline output contains no stop words and only non-empty
+// terms.
+func TestQuickTermsClean(t *testing.T) {
+	f := func(s string) bool {
+		for _, term := range Terms(s) {
+			if term == "" || IsStopWord(term) && Stem(term) == term {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStem(b *testing.B) {
+	words := []string{"running", "relational", "gossiping", "communities", "effectiveness"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Stem(words[i%len(words)])
+	}
+}
+
+func BenchmarkTerms(b *testing.B) {
+	doc := "PlanetP uses gossiping to replicate the global directory and " +
+		"Bloom filters summarizing each peer's inverted index across the community"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Terms(doc)
+	}
+}

@@ -1,0 +1,95 @@
+// Package text implements the preprocessing pipeline the paper applies to
+// every document collection before indexing (Section 7.3): tokenization,
+// stop-word removal, and stemming with the Porter algorithm ("the former
+// tries to eliminate frequently used words like the, of, etc. and the
+// second tries to conflate words to their root, e.g. running becomes run").
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits s into lowercase alphanumeric tokens. Everything that is
+// not a letter or digit separates tokens; tokens shorter than 2 runes or
+// longer than 64 are discarded (single letters carry no retrieval signal
+// and unbounded tokens are usually markup debris).
+func Tokenize(s string) []string {
+	var out []string
+	var b strings.Builder
+	flush := func() {
+		if n := b.Len(); n >= 2 && n <= 64 {
+			out = append(out, b.String())
+		}
+		b.Reset()
+	}
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// stopWords is the classic SMART-derived short stop list: high-frequency
+// function words that carry no content signal.
+var stopWords = map[string]struct{}{}
+
+func init() {
+	for _, w := range strings.Fields(`
+		a about above after again against all am an and any are as at be
+		because been before being below between both but by can did do does
+		doing down during each few for from further had has have having he
+		her here hers herself him himself his how if in into is it its
+		itself just me more most my myself no nor not now of off on once
+		only or other our ours ourselves out over own same she should so
+		some such than that the their theirs them themselves then there
+		these they this those through to too under until up very was we
+		were what when where which while who whom why will with you your
+		yours yourself yourselves shall may might must would could also
+		however thus therefore hence upon via et al`) {
+		stopWords[w] = struct{}{}
+	}
+}
+
+// IsStopWord reports whether the (lowercase) token is on the stop list.
+func IsStopWord(tok string) bool {
+	_, ok := stopWords[tok]
+	return ok
+}
+
+// StopWordCount returns the size of the built-in stop list (exposed for
+// tests and diagnostics).
+func StopWordCount() int { return len(stopWords) }
+
+// Terms runs the full pipeline: tokenize, drop stop words, stem. This is
+// the exact term stream PlanetP feeds into inverted indexes and Bloom
+// filters.
+func Terms(s string) []string {
+	toks := Tokenize(s)
+	out := toks[:0]
+	for _, tok := range toks {
+		if IsStopWord(tok) {
+			continue
+		}
+		stemmed := Stem(tok)
+		if len(stemmed) >= 2 {
+			out = append(out, stemmed)
+		}
+	}
+	return out
+}
+
+// TermFreqs runs the pipeline and returns term → occurrence-count for one
+// document, the unit the inverted index stores.
+func TermFreqs(s string) map[string]int {
+	freqs := make(map[string]int)
+	for _, t := range Terms(s) {
+		freqs[t]++
+	}
+	return freqs
+}

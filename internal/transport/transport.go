@@ -1,0 +1,395 @@
+// Package transport is PlanetP's live network layer: gob-over-TCP
+// messaging that carries gossip (one-way), search RPCs, brokerage
+// operations, and document fetches between peers. It implements
+// gossip.Env, so the exact protocol engine that runs in the simulator
+// runs over real sockets here.
+//
+// The wire model is deliberately simple — one connection per exchange
+// (send, optionally read one reply, close). PlanetP's message rates are a
+// few per peer per gossip interval, so connection reuse buys nothing at
+// the scales the system targets.
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"planetp/internal/broker"
+	"planetp/internal/directory"
+	"planetp/internal/gossip"
+	"planetp/internal/search"
+)
+
+// Kind tags an envelope.
+type Kind uint8
+
+// Envelope kinds.
+const (
+	// KindGossip carries a one-way gossip message.
+	KindGossip Kind = iota
+	// KindQuery asks the target to run a local query; KindQueryResp
+	// answers.
+	KindQuery
+	// KindBrokerPut stores a snippet at the target's broker.
+	KindBrokerPut
+	// KindBrokerGet fetches snippets for a key; answered by
+	// KindSnippets.
+	KindBrokerGet
+	// KindBrokerWatch registers a persistent-query watch at the
+	// target's broker; matches come back as KindNotify one-ways.
+	KindBrokerWatch
+	// KindNotify delivers a matched snippet to a watcher.
+	KindNotify
+	// KindGetDoc fetches a document body by key; answered by KindDoc.
+	KindGetDoc
+	// KindRecord requests the target's self record (bootstrap);
+	// answered by KindRecordResp.
+	KindRecord
+	// KindProxySearch asks the target to run a full ranked search on
+	// the requester's behalf (the paper's proxy-search accommodation
+	// for bandwidth-limited peers); answered by KindProxyResp.
+	KindProxySearch
+
+	// Response kinds.
+	KindQueryResp
+	KindSnippets
+	KindDoc
+	KindRecordResp
+	KindProxyResp
+)
+
+// Envelope is the single gob wire unit.
+type Envelope struct {
+	Kind Kind
+	From directory.PeerID
+
+	Gossip  *gossip.Message
+	Terms   []string
+	All     bool
+	K       int
+	Docs    []search.DocResult
+	Scored  []search.ScoredDoc
+	Snippet *broker.Snippet
+	Snips   []broker.Snippet
+	Discard time.Duration
+	Key     string
+	XML     string
+	Found   bool
+	Record  *directory.Record
+	Err     string
+}
+
+// Handler is the application side of the transport (implemented by
+// core.Peer).
+type Handler interface {
+	// HandleGossip delivers a gossip message.
+	HandleGossip(from directory.PeerID, m *gossip.Message)
+	// HandleQuery runs a local query (all = conjunctive).
+	HandleQuery(terms []string, all bool) []search.DocResult
+	// HandleBrokerPut stores a brokered snippet locally under key.
+	HandleBrokerPut(key string, sn broker.Snippet, discard time.Duration)
+	// HandleBrokerGet returns local snippets for key.
+	HandleBrokerGet(key string) []broker.Snippet
+	// HandleBrokerWatch registers a remote watcher.
+	HandleBrokerWatch(keys []string, watcher directory.PeerID)
+	// HandleNotify delivers a matched snippet to this (watching) peer.
+	HandleNotify(sn broker.Snippet)
+	// HandleGetDoc returns a stored document's XML.
+	HandleGetDoc(key string) (string, bool)
+	// HandleProxySearch runs a ranked search on behalf of a
+	// bandwidth-limited requester.
+	HandleProxySearch(terms []string, k int) []search.ScoredDoc
+	// SelfRecord returns the peer's current record (bootstrap).
+	SelfRecord() directory.Record
+}
+
+// Resolver maps peer ids to dialable addresses (the directory's Addr
+// field).
+type Resolver func(id directory.PeerID) (string, bool)
+
+// Transport is one peer's network endpoint.
+type Transport struct {
+	id      directory.PeerID
+	ln      net.Listener
+	handler Handler
+	resolve Resolver
+	start   time.Time
+	rng     *rand.Rand
+	rngMu   sync.Mutex
+
+	// intervalCh wakes the gossip loop when the node's interval
+	// changes.
+	intervalCh chan time.Duration
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+
+	// DialTimeout bounds connection attempts (drives off-line
+	// detection).
+	DialTimeout time.Duration
+	// BytesSent/BytesRecv count real encoded bytes (approximate:
+	// counted at the net.Conn boundary).
+	BytesSent, BytesRecv int64
+}
+
+// New starts listening on listenAddr ("" or "127.0.0.1:0" for an
+// ephemeral port).
+func New(id directory.PeerID, listenAddr string, handler Handler, resolve Resolver, seed int64) (*Transport, error) {
+	if listenAddr == "" {
+		listenAddr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	t := &Transport{
+		id: id, ln: ln, handler: handler, resolve: resolve,
+		start:       time.Now(),
+		rng:         rand.New(rand.NewSource(seed)),
+		intervalCh:  make(chan time.Duration, 4),
+		DialTimeout: 2 * time.Second,
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address.
+func (t *Transport) Addr() string { return t.ln.Addr().String() }
+
+// Close shuts the endpoint down and waits for the accept loop.
+func (t *Transport) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	t.mu.Unlock()
+	t.ln.Close()
+	t.wg.Wait()
+}
+
+// IntervalCh exposes interval-change wakeups for the gossip driver loop.
+func (t *Transport) IntervalCh() <-chan time.Duration { return t.intervalCh }
+
+// --- gossip.Env ---
+
+// Now implements gossip.Env as monotonic time since transport start.
+func (t *Transport) Now() time.Duration { return time.Since(t.start) }
+
+// Rand implements gossip.Env.
+func (t *Transport) Rand() *rand.Rand { return t.rng }
+
+// IntervalChanged implements gossip.Env.
+func (t *Transport) IntervalChanged(d time.Duration) {
+	select {
+	case t.intervalCh <- d:
+	default:
+	}
+}
+
+// Send implements gossip.Env: one-way delivery of a gossip message.
+func (t *Transport) Send(to directory.PeerID, m *gossip.Message) error {
+	return t.oneway(to, &Envelope{Kind: KindGossip, From: t.id, Gossip: m})
+}
+
+// --- client operations ---
+
+// dial resolves and connects to a peer.
+func (t *Transport) dial(to directory.PeerID) (net.Conn, error) {
+	addr, ok := t.resolve(to)
+	if !ok || addr == "" {
+		return nil, fmt.Errorf("transport: no address for peer %d", to)
+	}
+	return net.DialTimeout("tcp", addr, t.DialTimeout)
+}
+
+// oneway sends an envelope without waiting for a reply.
+func (t *Transport) oneway(to directory.PeerID, env *Envelope) error {
+	conn, err := t.dial(to)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(t.DialTimeout))
+	return gob.NewEncoder(conn).Encode(env)
+}
+
+// call sends an envelope and reads one reply.
+func (t *Transport) call(to directory.PeerID, env *Envelope) (*Envelope, error) {
+	conn, err := t.dial(to)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * t.DialTimeout))
+	if err := gob.NewEncoder(conn).Encode(env); err != nil {
+		return nil, err
+	}
+	var resp Envelope
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return &resp, nil
+}
+
+// callAddr is like call but dials a raw address (bootstrap, before the
+// peer is in the directory).
+func (t *Transport) callAddr(addr string, env *Envelope) (*Envelope, error) {
+	conn, err := net.DialTimeout("tcp", addr, t.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * t.DialTimeout))
+	if err := gob.NewEncoder(conn).Encode(env); err != nil {
+		return nil, err
+	}
+	var resp Envelope
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return &resp, nil
+}
+
+// Query runs a search RPC against a peer.
+func (t *Transport) Query(to directory.PeerID, terms []string, all bool) ([]search.DocResult, error) {
+	resp, err := t.call(to, &Envelope{Kind: KindQuery, From: t.id, Terms: terms, All: all})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Docs, nil
+}
+
+// BrokerPut stores a snippet under key at the owning peer's broker.
+func (t *Transport) BrokerPut(to directory.PeerID, key string, sn broker.Snippet, discard time.Duration) error {
+	return t.oneway(to, &Envelope{Kind: KindBrokerPut, From: t.id, Key: key, Snippet: &sn, Discard: discard})
+}
+
+// BrokerGet fetches live snippets for key from a broker.
+func (t *Transport) BrokerGet(to directory.PeerID, key string) ([]broker.Snippet, error) {
+	resp, err := t.call(to, &Envelope{Kind: KindBrokerGet, From: t.id, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Snips, nil
+}
+
+// BrokerWatch registers this peer as a watcher for keys at a broker.
+func (t *Transport) BrokerWatch(to directory.PeerID, keys []string) error {
+	return t.oneway(to, &Envelope{Kind: KindBrokerWatch, From: t.id, Terms: keys})
+}
+
+// Notify delivers a matched snippet to a watcher.
+func (t *Transport) Notify(to directory.PeerID, sn broker.Snippet) error {
+	return t.oneway(to, &Envelope{Kind: KindNotify, From: t.id, Snippet: &sn})
+}
+
+// GetDoc fetches a document body from a peer.
+func (t *Transport) GetDoc(to directory.PeerID, key string) (string, error) {
+	resp, err := t.call(to, &Envelope{Kind: KindGetDoc, From: t.id, Key: key})
+	if err != nil {
+		return "", err
+	}
+	if !resp.Found {
+		return "", fmt.Errorf("transport: document %s not found on peer %d", key, to)
+	}
+	return resp.XML, nil
+}
+
+// ProxySearch asks a better-connected peer to run the whole ranked
+// search and return the top-k results.
+func (t *Transport) ProxySearch(to directory.PeerID, terms []string, k int) ([]search.ScoredDoc, error) {
+	resp, err := t.call(to, &Envelope{Kind: KindProxySearch, From: t.id, Terms: terms, K: k})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Scored, nil
+}
+
+// FetchRecord asks an address for its peer's current self record
+// (bootstrap).
+func (t *Transport) FetchRecord(addr string) (directory.Record, error) {
+	resp, err := t.callAddr(addr, &Envelope{Kind: KindRecord, From: t.id})
+	if err != nil {
+		return directory.Record{}, err
+	}
+	if resp.Record == nil {
+		return directory.Record{}, errors.New("transport: empty record response")
+	}
+	return *resp.Record, nil
+}
+
+// --- server side ---
+
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.serve(conn)
+		}()
+	}
+}
+
+// serve handles one inbound connection (one request).
+func (t *Transport) serve(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	var env Envelope
+	if err := gob.NewDecoder(conn).Decode(&env); err != nil {
+		return
+	}
+	enc := gob.NewEncoder(conn)
+	switch env.Kind {
+	case KindGossip:
+		if env.Gossip != nil {
+			t.handler.HandleGossip(env.From, env.Gossip)
+		}
+	case KindQuery:
+		docs := t.handler.HandleQuery(env.Terms, env.All)
+		_ = enc.Encode(&Envelope{Kind: KindQueryResp, From: t.id, Docs: docs})
+	case KindBrokerPut:
+		if env.Snippet != nil {
+			t.handler.HandleBrokerPut(env.Key, *env.Snippet, env.Discard)
+		}
+	case KindBrokerGet:
+		snips := t.handler.HandleBrokerGet(env.Key)
+		_ = enc.Encode(&Envelope{Kind: KindSnippets, From: t.id, Snips: snips})
+	case KindBrokerWatch:
+		t.handler.HandleBrokerWatch(env.Terms, env.From)
+	case KindNotify:
+		if env.Snippet != nil {
+			t.handler.HandleNotify(*env.Snippet)
+		}
+	case KindGetDoc:
+		xml, found := t.handler.HandleGetDoc(env.Key)
+		_ = enc.Encode(&Envelope{Kind: KindDoc, From: t.id, XML: xml, Found: found})
+	case KindRecord:
+		rec := t.handler.SelfRecord()
+		_ = enc.Encode(&Envelope{Kind: KindRecordResp, From: t.id, Record: &rec})
+	case KindProxySearch:
+		scored := t.handler.HandleProxySearch(env.Terms, env.K)
+		_ = enc.Encode(&Envelope{Kind: KindProxyResp, From: t.id, Scored: scored})
+	default:
+		_ = enc.Encode(&Envelope{Kind: env.Kind, From: t.id, Err: "unknown kind"})
+	}
+}

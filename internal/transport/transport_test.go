@@ -1,0 +1,344 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"planetp/internal/broker"
+	"planetp/internal/directory"
+	"planetp/internal/gossip"
+	"planetp/internal/search"
+)
+
+// recordingHandler captures everything the transport delivers.
+type recordingHandler struct {
+	mu      sync.Mutex
+	gossips []*gossip.Message
+	puts    []string
+	watches [][]string
+	notices []broker.Snippet
+	docs    map[string]string
+	self    directory.Record
+}
+
+func newHandler(id directory.PeerID) *recordingHandler {
+	return &recordingHandler{
+		docs: map[string]string{},
+		self: directory.Record{ID: id, Ver: directory.Version{Epoch: 1}},
+	}
+}
+
+func (h *recordingHandler) HandleGossip(from directory.PeerID, m *gossip.Message) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.gossips = append(h.gossips, m)
+}
+
+func (h *recordingHandler) HandleQuery(terms []string, all bool) []search.DocResult {
+	out := []search.DocResult{{Key: "doc-1", TermFreqs: map[string]int{terms[0]: 2}, DocLen: 10}}
+	if all {
+		out = append(out, search.DocResult{Key: "doc-all", DocLen: 5})
+	}
+	return out
+}
+
+func (h *recordingHandler) HandleBrokerPut(key string, sn broker.Snippet, _ time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.puts = append(h.puts, key+":"+sn.ID)
+}
+
+func (h *recordingHandler) HandleBrokerGet(key string) []broker.Snippet {
+	return []broker.Snippet{{ID: "sn-" + key, Keys: []string{key}}}
+}
+
+func (h *recordingHandler) HandleBrokerWatch(keys []string, watcher directory.PeerID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.watches = append(h.watches, keys)
+}
+
+func (h *recordingHandler) HandleNotify(sn broker.Snippet) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.notices = append(h.notices, sn)
+}
+
+func (h *recordingHandler) HandleGetDoc(key string) (string, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	xml, ok := h.docs[key]
+	return xml, ok
+}
+
+func (h *recordingHandler) HandleProxySearch(terms []string, k int) []search.ScoredDoc {
+	return []search.ScoredDoc{{
+		DocResult: search.DocResult{Key: "proxied-" + terms[0]},
+		Score:     float64(k),
+	}}
+}
+
+func (h *recordingHandler) SelfRecord() directory.Record { return h.self }
+
+// pair builds two connected transports.
+func pair(t *testing.T) (*Transport, *recordingHandler, *Transport, *recordingHandler) {
+	t.Helper()
+	ha, hb := newHandler(0), newHandler(1)
+	var ta, tb *Transport
+	resolve := func(id directory.PeerID) (string, bool) {
+		switch id {
+		case 0:
+			return ta.Addr(), true
+		case 1:
+			return tb.Addr(), true
+		}
+		return "", false
+	}
+	var err error
+	ta, err = New(0, "", ha, resolve, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ta.Close)
+	tb, err = New(1, "", hb, resolve, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Close)
+	return ta, ha, tb, hb
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestGossipOneWay(t *testing.T) {
+	ta, _, _, hb := pair(t)
+	msg := &gossip.Message{Type: gossip.MsgAERequest, From: 0, Digest: 42}
+	if err := ta.Send(1, msg); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "gossip delivery", func() bool {
+		hb.mu.Lock()
+		defer hb.mu.Unlock()
+		return len(hb.gossips) == 1
+	})
+	hb.mu.Lock()
+	got := hb.gossips[0]
+	hb.mu.Unlock()
+	if got.Type != gossip.MsgAERequest || got.Digest != 42 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestGossipCarriesRecordsWithPayload(t *testing.T) {
+	ta, _, _, hb := pair(t)
+	msg := &gossip.Message{
+		Type: gossip.MsgRumor, From: 0,
+		Updates: []directory.Record{{
+			ID: 0, Ver: directory.Version{Epoch: 1, Seq: 3},
+			Addr: "somewhere:1", Payload: []byte{1, 2, 3},
+		}},
+	}
+	if err := ta.Send(1, msg); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "rumor delivery", func() bool {
+		hb.mu.Lock()
+		defer hb.mu.Unlock()
+		return len(hb.gossips) == 1
+	})
+	hb.mu.Lock()
+	rec := hb.gossips[0].Updates[0]
+	hb.mu.Unlock()
+	if rec.Addr != "somewhere:1" || len(rec.Payload) != 3 || rec.Ver.Seq != 3 {
+		t.Fatalf("record mangled: %+v", rec)
+	}
+}
+
+func TestQueryRPC(t *testing.T) {
+	ta, _, _, _ := pair(t)
+	docs, err := ta.Query(1, []string{"gossip"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 1 || docs[0].Key != "doc-1" || docs[0].TermFreqs["gossip"] != 2 {
+		t.Fatalf("docs = %+v", docs)
+	}
+	docs, err = ta.Query(1, []string{"gossip"}, true)
+	if err != nil || len(docs) != 2 {
+		t.Fatalf("all-query: %v %v", docs, err)
+	}
+}
+
+func TestBrokerRPCs(t *testing.T) {
+	ta, _, _, hb := pair(t)
+	if err := ta.BrokerPut(1, "key1", broker.Snippet{ID: "s1", Keys: []string{"key1"}}, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "broker put", func() bool {
+		hb.mu.Lock()
+		defer hb.mu.Unlock()
+		return len(hb.puts) == 1 && hb.puts[0] == "key1:s1"
+	})
+	snips, err := ta.BrokerGet(1, "zzz")
+	if err != nil || len(snips) != 1 || snips[0].ID != "sn-zzz" {
+		t.Fatalf("BrokerGet: %v %v", snips, err)
+	}
+	if err := ta.BrokerWatch(1, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "watch", func() bool {
+		hb.mu.Lock()
+		defer hb.mu.Unlock()
+		return len(hb.watches) == 1
+	})
+	if err := ta.Notify(1, broker.Snippet{ID: "n1"}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "notify", func() bool {
+		hb.mu.Lock()
+		defer hb.mu.Unlock()
+		return len(hb.notices) == 1 && hb.notices[0].ID == "n1"
+	})
+}
+
+func TestProxySearchRPC(t *testing.T) {
+	ta, _, _, _ := pair(t)
+	docs, err := ta.ProxySearch(1, []string{"gossip"}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 1 || docs[0].Key != "proxied-gossip" || docs[0].Score != 7 {
+		t.Fatalf("proxy result = %+v", docs)
+	}
+}
+
+func TestGetDoc(t *testing.T) {
+	ta, _, _, hb := pair(t)
+	hb.mu.Lock()
+	hb.docs["k"] = "<x>body</x>"
+	hb.mu.Unlock()
+	xml, err := ta.GetDoc(1, "k")
+	if err != nil || xml != "<x>body</x>" {
+		t.Fatalf("GetDoc: %q %v", xml, err)
+	}
+	if _, err := ta.GetDoc(1, "missing"); err == nil {
+		t.Fatal("missing doc should error")
+	}
+}
+
+func TestFetchRecord(t *testing.T) {
+	ta, _, tb, _ := pair(t)
+	rec, err := ta.FetchRecord(tb.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.ID != 1 || rec.Ver.Epoch != 1 {
+		t.Fatalf("record = %+v", rec)
+	}
+	if _, err := ta.FetchRecord("127.0.0.1:1"); err == nil {
+		t.Fatal("unreachable address should error")
+	}
+}
+
+func TestSendToUnknownPeerFails(t *testing.T) {
+	ta, _, _, _ := pair(t)
+	if err := ta.Send(7, &gossip.Message{Type: gossip.MsgAERequest}); err == nil {
+		t.Fatal("send to unresolvable peer should fail")
+	}
+}
+
+func TestSendAfterCloseFails(t *testing.T) {
+	ta, _, tb, _ := pair(t)
+	tb.Close()
+	// Dial will be refused (or the message dropped); either way the
+	// caller must see an error so off-line detection works.
+	if err := ta.Send(1, &gossip.Message{Type: gossip.MsgAERequest}); err == nil {
+		t.Fatal("send to closed transport should fail")
+	}
+}
+
+func TestGarbageBytesDoNotCrashServer(t *testing.T) {
+	ta, _, tb, _ := pair(t)
+	for _, payload := range [][]byte{
+		{},
+		{0x00},
+		[]byte("GET / HTTP/1.1\r\n\r\n"),
+		bytesOf(0xFF, 4096),
+	} {
+		conn, err := net.Dial("tcp", tb.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Write(payload)
+		conn.Close()
+	}
+	// The server must still answer real RPCs afterwards.
+	if _, err := ta.FetchRecord(tb.Addr()); err != nil {
+		t.Fatalf("server wedged by garbage: %v", err)
+	}
+}
+
+func bytesOf(b byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+func TestConcurrentRPCs(t *testing.T) {
+	ta, _, _, _ := pair(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := ta.Query(1, []string{"x"}, false); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestNowMonotonic(t *testing.T) {
+	ta, _, _, _ := pair(t)
+	a := ta.Now()
+	time.Sleep(5 * time.Millisecond)
+	if ta.Now() <= a {
+		t.Fatal("Now not monotonic")
+	}
+}
+
+func TestIntervalChangedNonBlocking(t *testing.T) {
+	ta, _, _, _ := pair(t)
+	// Fill the buffer beyond capacity: must never block.
+	for i := 0; i < 100; i++ {
+		ta.IntervalChanged(time.Second)
+	}
+	select {
+	case d := <-ta.IntervalCh():
+		if d != time.Second {
+			t.Fatalf("d = %v", d)
+		}
+	default:
+		t.Fatal("no interval delivered")
+	}
+}
