@@ -312,7 +312,7 @@ func BenchmarkFig6bRecallVsSize(b *testing.B) {
 	col := collection.Generate(collection.ScaledSpec("AP89", 16), 1)
 	var pts []ir.SizePoint
 	for i := 0; i < b.N; i++ {
-		pts = ir.RecallVsSize(col, []int{100, 400, 1000}, 20, ir.Weibull, 8)
+		pts = ir.RecallVsSize(col, []int{100, 400, 1000}, 20, ir.Weibull, 8, nil)
 	}
 	b.ReportMetric(pts[0].RecallIPF, "recall-100peers")
 	b.ReportMetric(pts[len(pts)-1].RecallIPF, "recall-1000peers")

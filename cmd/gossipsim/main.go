@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"planetp/internal/gossipsim"
+	"planetp/internal/metrics"
 )
 
 func main() {
@@ -93,6 +94,23 @@ func pickScenarios(arg string, def []gossipsim.Scenario) []gossipsim.Scenario {
 	return out
 }
 
+// summarize prints a per-run metrics summary (rounds, messages, bytes)
+// as a CSV comment line.
+func summarize(reg *metrics.Registry, label string, peers int) {
+	s := reg.Snapshot()
+	rounds := s.Get("gossip_rounds_total")
+	avg := 0.0
+	if peers > 0 {
+		avg = float64(rounds) / float64(peers)
+	}
+	fmt.Printf("# run %s: rounds=%d (%.1f/peer) msgs=%d bytes=%d rumors=%d ae=%d pulls=%d news=%d failed_sends=%d\n",
+		label, rounds, avg,
+		s.Get("simnet_msgs_total"), s.Get("simnet_bytes_total"),
+		s.Get("gossip_rumors_sent_total"), s.Get("gossip_ae_requests_total"),
+		s.Get("gossip_pulls_sent_total"), s.Get("gossip_news_learned_total"),
+		s.Get("simnet_failed_sends_total"))
+}
+
 // fig2: propagation time (a), aggregate volume (b), per-peer bandwidth
 // (c) of one 1000-key Bloom filter vs community size.
 func fig2(sizes []int, scens []gossipsim.Scenario, seed int64) {
@@ -100,9 +118,12 @@ func fig2(sizes []int, scens []gossipsim.Scenario, seed int64) {
 	fmt.Println("scenario,peers,prop_time_s,total_bytes,per_peer_Bps")
 	for _, sc := range scens {
 		for _, n := range sizes {
+			reg := metrics.NewRegistry()
+			sc.Metrics = reg
 			p := gossipsim.Propagation(sc, n, seed+int64(n))
 			fmt.Printf("%s,%d,%.1f,%d,%.1f\n",
 				sc.Name, n, p.Time.Seconds(), p.Bytes, p.PerPeerBW)
+			summarize(reg, fmt.Sprintf("%s n=%d", sc.Name, n), n)
 		}
 	}
 }
@@ -113,9 +134,12 @@ func fig3(base int, joins []int, scens []gossipsim.Scenario, seed int64) {
 	fmt.Println("scenario,base,joiners,time_s,total_bytes,converged")
 	for _, sc := range scens {
 		for _, j := range joins {
+			reg := metrics.NewRegistry()
+			sc.Metrics = reg
 			r := gossipsim.Join(sc, base, j, seed+int64(j))
 			fmt.Printf("%s,%d,%d,%.1f,%d,%v\n",
 				sc.Name, base, j, r.Time.Seconds(), r.Bytes, r.Converged)
+			summarize(reg, fmt.Sprintf("%s base=%d joins=%d", sc.Name, base, j), base+j)
 		}
 	}
 }
@@ -126,8 +150,11 @@ func fig4a(n, arrivals int, seed int64) {
 	fmt.Println("# Figure 4a: arrival convergence CDF, with (LAN) and without (LAN-NPA) partial anti-entropy")
 	fmt.Println("scenario,percentile,conv_time_s")
 	for _, sc := range []gossipsim.Scenario{gossipsim.LAN, gossipsim.LANNPA} {
+		reg := metrics.NewRegistry()
+		sc.Metrics = reg
 		cdf := gossipsim.ArrivalCDF(sc, n, arrivals, 90*time.Second, seed)
 		printCDF(sc.Name, cdf)
+		summarize(reg, fmt.Sprintf("%s n=%d arrivals=%d", sc.Name, n, arrivals), n+arrivals)
 	}
 }
 
@@ -146,6 +173,8 @@ func fig4bc(n int, seed int64) {
 	fmt.Println("# Figure 4b: dynamic community convergence CDF; Figure 4c: bandwidth timeline")
 	cfg := gossipsim.DefaultChurn(n)
 	for _, sc := range []gossipsim.Scenario{gossipsim.LAN, gossipsim.MIX} {
+		reg := metrics.NewRegistry()
+		sc.Metrics = reg
 		r := gossipsim.Churn(sc, cfg, seed)
 		fmt.Printf("# %s: %d events, aggregate bandwidth %.1f KB/s\n",
 			sc.Name, r.Events, r.AggregateBandwidth()/1e3)
@@ -155,6 +184,7 @@ func fig4bc(n int, seed int64) {
 		for s := r.MeasureStart; s < r.MeasureEnd && s < len(r.Timeline); s += 30 {
 			fmt.Printf("%s,%d,%d\n", sc.Name, s-r.MeasureStart, r.Timeline[s])
 		}
+		summarize(reg, fmt.Sprintf("%s n=%d churn", sc.Name, n), n)
 	}
 }
 

@@ -12,12 +12,25 @@ import (
 	"fmt"
 	"time"
 
+	"os"
+
 	"planetp/internal/bloom"
 	"planetp/internal/collection"
 	"planetp/internal/gossipsim"
 	"planetp/internal/index"
 	"planetp/internal/ir"
+	"planetp/internal/metrics"
 )
+
+// reg aggregates every experiment's protocol and wire counters; the
+// suite dumps it as JSON at the end of the run.
+var reg = metrics.NewRegistry()
+
+// withMetrics threads the suite registry through a scenario.
+func withMetrics(sc gossipsim.Scenario) gossipsim.Scenario {
+	sc.Metrics = reg
+	return sc
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "shrink everything for a fast smoke run")
@@ -55,6 +68,12 @@ func main() {
 	table3(colScale, *seed)
 	fig6(colScale, colPeers, ks, fig6bSizes, *seed)
 	fmt.Printf("\n# total wall time: %v\n", time.Since(start).Round(time.Second))
+
+	fmt.Println("\n## Metrics snapshot (aggregate over the whole run)")
+	if err := reg.WriteJSON(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	fmt.Println()
 }
 
 // table1 times the paper's six micro-benchmarked operations.
@@ -110,6 +129,7 @@ func fig2(sizes []int, seed int64) {
 		gossipsim.LAN, gossipsim.LANAE, gossipsim.DSL10, gossipsim.DSL30,
 		gossipsim.DSL60, gossipsim.MIX,
 	} {
+		sc = withMetrics(sc)
 		for _, n := range sizes {
 			p := gossipsim.Propagation(sc, n, seed+int64(n))
 			fmt.Printf("%s,%d,%.1f,%d,%.1f\n", sc.Name, n, p.Time.Seconds(), p.Bytes, p.PerPeerBW)
@@ -121,6 +141,7 @@ func fig3(base int, joins []int, seed int64) {
 	fmt.Println("\n## Figure 3: simultaneous joins into a stable community (20000 keys each)")
 	fmt.Println("scenario,base,joiners,time_s,total_bytes,converged")
 	for _, sc := range []gossipsim.Scenario{gossipsim.LAN, gossipsim.DSL30, gossipsim.MIX} {
+		sc = withMetrics(sc)
 		for _, j := range joins {
 			r := gossipsim.Join(sc, base, j, seed+int64(j))
 			fmt.Printf("%s,%d,%d,%.1f,%d,%v\n", sc.Name, base, j, r.Time.Seconds(), r.Bytes, r.Converged)
@@ -132,7 +153,7 @@ func fig4a(n, arrivals int, seed int64) {
 	fmt.Println("\n## Figure 4a: arrival convergence CDF, partial anti-entropy ablation")
 	fmt.Println("scenario,p50_s,p90_s,p99_s,max_s,unconverged")
 	for _, sc := range []gossipsim.Scenario{gossipsim.LAN, gossipsim.LANNPA} {
-		cdf := gossipsim.ArrivalCDF(sc, n, arrivals, 90*time.Second, seed)
+		cdf := gossipsim.ArrivalCDF(withMetrics(sc), n, arrivals, 90*time.Second, seed)
 		fmt.Printf("%s,%.1f,%.1f,%.1f,%.1f,%d\n", sc.Name,
 			cdf.Percentile(50).Seconds(), cdf.Percentile(90).Seconds(),
 			cdf.Percentile(99).Seconds(), cdf.Percentile(100).Seconds(), cdf.Unconverged)
@@ -144,7 +165,7 @@ func fig4bc(n int, seed int64) {
 	fmt.Println("scenario,events,p50_s,p90_s,max_s,unconverged,aggregate_KBps")
 	cfg := gossipsim.DefaultChurn(n)
 	for _, sc := range []gossipsim.Scenario{gossipsim.LAN, gossipsim.MIX} {
-		r := gossipsim.Churn(sc, cfg, seed)
+		r := gossipsim.Churn(withMetrics(sc), cfg, seed)
 		fmt.Printf("%s,%d,%.1f,%.1f,%.1f,%d,%.1f\n", sc.Name, r.Events,
 			r.All.Percentile(50).Seconds(), r.All.Percentile(90).Seconds(),
 			r.All.Percentile(100).Seconds(), r.All.Unconverged,
@@ -157,14 +178,14 @@ func fig5(n int, seed int64) {
 	fmt.Println("series,events,p50_s,p90_s,max_s,unconverged")
 	cfg := gossipsim.DefaultChurn(n)
 	for _, sc := range []gossipsim.Scenario{gossipsim.LAN, gossipsim.MIX} {
-		r := gossipsim.Churn(sc, cfg, seed)
+		r := gossipsim.Churn(withMetrics(sc), cfg, seed)
 		fmt.Printf("%s,%d,%.1f,%.1f,%.1f,%d\n", sc.Name, r.Events,
 			r.All.Percentile(50).Seconds(), r.All.Percentile(90).Seconds(),
 			r.All.Percentile(100).Seconds(), r.All.Unconverged)
 	}
 	cfgF := cfg
 	cfgF.FastOnly = true
-	r := gossipsim.Churn(gossipsim.MIX, cfgF, seed)
+	r := gossipsim.Churn(withMetrics(gossipsim.MIX), cfgF, seed)
 	for _, row := range []struct {
 		name string
 		cdf  gossipsim.CDF
@@ -187,6 +208,7 @@ func table3(scale int, seed int64) {
 func fig6(scale, peers int, ks, sizes []int, seed int64) {
 	col := collection.Generate(collection.ScaledSpec("AP89", scale), seed)
 	com := ir.Distribute(col, peers, ir.Weibull, seed+7)
+	com.Metrics = reg
 	fmt.Printf("\n## Figure 6a/6c: %s over %d peers, Weibull\n", col.Name, peers)
 	fmt.Println("k,recall_idf,prec_idf,recall_ipf,prec_ipf,peers_idf,peers_ipf,peers_best")
 	for _, pt := range ir.Evaluate(com, ks) {
@@ -196,7 +218,7 @@ func fig6(scale, peers int, ks, sizes []int, seed int64) {
 	}
 	fmt.Println("\n## Figure 6b: recall at k=20 vs community size")
 	fmt.Println("peers,recall_ipf,recall_idf")
-	for _, pt := range ir.RecallVsSize(col, sizes, 20, ir.Weibull, seed+7) {
+	for _, pt := range ir.RecallVsSize(col, sizes, 20, ir.Weibull, seed+7, reg) {
 		fmt.Printf("%d,%.3f,%.3f\n", pt.Peers, pt.RecallIPF, pt.RecallIDF)
 	}
 }

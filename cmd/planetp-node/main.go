@@ -20,6 +20,7 @@
 //	save <path>           snapshot documents + version counters to a file
 //	peers                 show the directory
 //	stats                 gossip statistics
+//	metrics               dump the metrics registry as JSON
 //	quit
 //
 // Start with -restore <path> to resume a previous incarnation from a
@@ -31,6 +32,8 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -49,6 +52,7 @@ func main() {
 	slow := flag.Bool("slow", false, "mark this peer modem-class for bandwidth-aware gossip")
 	structured := flag.Bool("structured", false, "index terms scoped by XML element (tag:word queries)")
 	restore := flag.String("restore", "", "restore a previous incarnation from a snapshot file")
+	httpAddr := flag.String("http", "", "serve GET /debug/metrics on this address (\"\" = off)")
 	flag.Parse()
 
 	var snapshot []byte
@@ -100,6 +104,21 @@ func main() {
 	}
 	peer.Start()
 	fmt.Printf("%s listening on %s (id %d)\n", peer.Name(), peer.Addr(), peer.ID())
+
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			peer.Metrics().WriteJSON(w)
+		})
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics on http://%s/debug/metrics\n", ln.Addr())
+		go http.Serve(ln, mux)
+	}
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -213,8 +232,13 @@ func main() {
 			fmt.Printf("rounds=%d rumors=%d ae=%d pulls=%d news=%d interval=%v\n",
 				st.Rounds, st.RumorsSent, st.AERequests, st.PullsSent,
 				st.NewsLearned, peer.Node().Interval())
+		case "metrics":
+			if err := peer.Metrics().WriteJSON(os.Stdout); err != nil {
+				fmt.Println("error:", err)
+			}
+			fmt.Println()
 		default:
-			fmt.Println("commands: publish file search all proxy watch mkdir ls get save peers stats quit")
+			fmt.Println("commands: publish file search all proxy watch mkdir ls get save peers stats metrics quit")
 		}
 	}
 }

@@ -24,6 +24,7 @@ import (
 
 	"planetp/internal/collection"
 	"planetp/internal/ir"
+	"planetp/internal/metrics"
 )
 
 func main() {
@@ -95,6 +96,7 @@ func table3(scale int, seed int64) {
 func fig6ac(name string, scale, peers int, ks []int, dist ir.Distribution, seed int64) {
 	col := getCollection(name, scale, seed)
 	com := ir.Distribute(col, peers, dist, seed+7)
+	com.Metrics = metrics.NewRegistry()
 	fmt.Printf("# Figure 6a/6c: %s over %d peers (%s distribution)\n", col.Name, peers, dist)
 	fmt.Println("k,recall_idf,prec_idf,recall_ipf,prec_ipf,peers_idf,peers_ipf,peers_best")
 	for _, pt := range ir.Evaluate(com, ks) {
@@ -102,14 +104,35 @@ func fig6ac(name string, scale, peers int, ks []int, dist ir.Distribution, seed 
 			pt.K, pt.RecallIDF, pt.PrecisionIDF, pt.RecallIPF, pt.PrecisionIPF,
 			pt.PeersIDF, pt.PeersIPF, pt.PeersBest)
 	}
+	summarize(com.Metrics)
 }
 
 // fig6b: recall at fixed k vs community size.
 func fig6b(name string, scale, k int, sizes []int, dist ir.Distribution, seed int64) {
 	col := getCollection(name, scale, seed)
+	reg := metrics.NewRegistry()
 	fmt.Printf("# Figure 6b: %s recall at k=%d vs community size (%s)\n", col.Name, k, dist)
 	fmt.Println("peers,recall_ipf,recall_idf")
-	for _, pt := range ir.RecallVsSize(col, sizes, k, dist, seed+7) {
+	for _, pt := range ir.RecallVsSize(col, sizes, k, dist, seed+7, reg) {
 		fmt.Printf("%d,%.3f,%.3f\n", pt.Peers, pt.RecallIPF, pt.RecallIDF)
+	}
+	summarize(reg)
+}
+
+// summarize prints the run's aggregate search-cost metrics as CSV
+// comment lines.
+func summarize(reg *metrics.Registry) {
+	s := reg.Snapshot()
+	queries := s.Get("search_ranked_queries_total")
+	contacted := s.Get("search_peers_contacted_total")
+	avg := 0.0
+	if queries > 0 {
+		avg = float64(contacted) / float64(queries)
+	}
+	fmt.Printf("# run summary: ranked_queries=%d peers_contacted=%d (%.1f/query) docs_retrieved=%d stop_iterations=%d stopped_early=%d\n",
+		queries, contacted, avg, s.Get("search_docs_retrieved_total"),
+		s.Get("search_stop_iterations_total"), s.Get("search_stopped_early_total"))
+	if h, ok := s.Histograms["search_peers_per_query"]; ok {
+		fmt.Printf("# peers/query histogram: bounds=%v counts=%v\n", h.Bounds, h.Counts)
 	}
 }

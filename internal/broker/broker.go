@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"planetp/internal/chash"
+	"planetp/internal/metrics"
 )
 
 // Snippet is a published unit: an XML fragment advertised under keys.
@@ -72,6 +73,18 @@ type Broker struct {
 	watches []*Watch
 	// Stored counts live entries for diagnostics.
 	puts, expired int
+
+	m brokerMetrics
+}
+
+// brokerMetrics holds the broker's registry instruments (all nil — a
+// no-op — until SetMetrics is called).
+type brokerMetrics struct {
+	puts     *metrics.Counter
+	gets     *metrics.Counter
+	returned *metrics.Counter
+	expired  *metrics.Counter
+	notifies *metrics.Counter
 }
 
 // NewBroker returns a broker using clock for expiry decisions (virtual
@@ -80,18 +93,34 @@ func NewBroker(clock func() time.Duration) *Broker {
 	return &Broker{clock: clock, byKey: make(map[string][]entry)}
 }
 
+// SetMetrics points the broker's counters (broker_* names) at reg. Call
+// before the broker sees traffic; nil leaves instrumentation off.
+func (b *Broker) SetMetrics(reg *metrics.Registry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.m = brokerMetrics{
+		puts:     reg.Counter("broker_puts_total"),
+		gets:     reg.Counter("broker_gets_total"),
+		returned: reg.Counter("broker_snippets_returned_total"),
+		expired:  reg.Counter("broker_expired_total"),
+		notifies: reg.Counter("broker_watch_notifies_total"),
+	}
+}
+
 // Put stores sn under key until the discard time elapses.
 func (b *Broker) Put(key string, sn Snippet, discard time.Duration) {
 	now := b.clock()
 	b.mu.Lock()
 	b.byKey[key] = append(b.byKey[key], entry{sn: sn, expires: now + discard})
 	b.puts++
+	b.m.puts.Inc()
 	var fire []*Watch
 	for _, w := range b.watches {
 		if sn.HasAllKeys(w.Keys) {
 			fire = append(fire, w)
 		}
 	}
+	b.m.notifies.Add(int64(len(fire)))
 	b.mu.Unlock()
 	for _, w := range fire {
 		w.Fn(sn)
@@ -103,6 +132,7 @@ func (b *Broker) Get(key string) []Snippet {
 	now := b.clock()
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.m.gets.Inc()
 	entries := b.byKey[key]
 	out := make([]Snippet, 0, len(entries))
 	live := entries[:0]
@@ -112,6 +142,7 @@ func (b *Broker) Get(key string) []Snippet {
 			live = append(live, e)
 		} else {
 			b.expired++
+			b.m.expired.Inc()
 		}
 	}
 	if len(live) == 0 {
@@ -119,6 +150,7 @@ func (b *Broker) Get(key string) []Snippet {
 	} else {
 		b.byKey[key] = live
 	}
+	b.m.returned.Add(int64(len(out)))
 	return out
 }
 
@@ -144,6 +176,7 @@ func (b *Broker) Sweep() int {
 		}
 	}
 	b.expired += n
+	b.m.expired.Add(int64(n))
 	return n
 }
 
@@ -181,6 +214,7 @@ func (b *Broker) PutUntil(key string, sn Snippet, expires time.Duration) {
 	b.mu.Lock()
 	b.byKey[key] = append(b.byKey[key], entry{sn: sn, expires: expires})
 	b.puts++
+	b.m.puts.Inc()
 	b.mu.Unlock()
 }
 

@@ -18,6 +18,7 @@ import (
 	"planetp/internal/doc"
 	"planetp/internal/gossip"
 	"planetp/internal/index"
+	"planetp/internal/metrics"
 	"planetp/internal/search"
 	"planetp/internal/text"
 	"planetp/internal/transport"
@@ -68,6 +69,10 @@ type Config struct {
 	// the stored documents are republished and the announced epoch
 	// supersedes the previous incarnation's.
 	Restore []byte
+	// Metrics receives the peer's counters across every layer (gossip,
+	// transport, broker, search). Nil gets a fresh registry, so
+	// Peer.Metrics() is always usable.
+	Metrics *metrics.Registry
 }
 
 // Peer is a live PlanetP community member.
@@ -90,6 +95,7 @@ type Peer struct {
 	registry    *search.Registry
 	view        *dirView
 	userRng     *rand.Rand
+	reg         *metrics.Registry
 	stopCh      chan struct{}
 	loopDone    chan struct{}
 	started     bool
@@ -114,6 +120,9 @@ func NewPeer(cfg Config) (*Peer, error) {
 	if cfg.Name == "" {
 		cfg.Name = fmt.Sprintf("peer-%d", cfg.ID)
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
 	p := &Peer{
 		cfg:      cfg,
 		id:       cfg.ID,
@@ -123,6 +132,7 @@ func NewPeer(cfg Config) (*Peer, error) {
 		docOf:    make(map[string]index.DocID),
 		filter:   bloom.Default(),
 		counting: bloom.DefaultCounting(),
+		reg:      cfg.Metrics,
 		stopCh:   make(chan struct{}),
 		loopDone: make(chan struct{}),
 	}
@@ -130,14 +140,16 @@ func NewPeer(cfg Config) (*Peer, error) {
 	p.view = &dirView{p: p}
 	p.registry = search.NewRegistry(p.view, fetcher{p})
 
-	tp, err := transport.New(cfg.ID, cfg.ListenAddr, (*handler)(p), p.resolveAddr, cfg.Seed)
+	tp, err := transport.New(cfg.ID, cfg.ListenAddr, (*handler)(p), p.resolveAddr, cfg.Seed, cfg.Metrics)
 	if err != nil {
 		return nil, err
 	}
 	p.tp = tp
 	p.broker = broker.NewBroker(tp.Now)
+	p.broker.SetMetrics(cfg.Metrics)
 
 	gcfg := cfg.Gossip
+	gcfg.Metrics = cfg.Metrics
 	userOnNews := gcfg.OnNews
 	gcfg.OnNews = func(rec directory.Record) {
 		p.onNews(rec)
@@ -190,6 +202,10 @@ func (p *Peer) Directory() *directory.Directory { return p.dir }
 
 // Node exposes the gossip engine (stats, interval).
 func (p *Peer) Node() *gossip.Node { return p.node }
+
+// Metrics returns the peer's metrics registry (never nil): one snapshot
+// covers the gossip, transport, broker, and search layers.
+func (p *Peer) Metrics() *metrics.Registry { return p.reg }
 
 // Start launches the gossip loop.
 func (p *Peer) Start() {
@@ -436,7 +452,7 @@ func max32(a, b uint32) uint32 {
 
 // Search runs the ranked TFxIPF search (Section 5.2) for a raw query.
 func (p *Peer) Search(query string, k int) ([]search.ScoredDoc, search.Stats) {
-	return search.Ranked(p.view, fetcher{p}, Terms(query), search.Options{K: k})
+	return search.Ranked(p.view, fetcher{p}, Terms(query), search.Options{K: k, Metrics: p.reg})
 }
 
 // SearchVia delegates a ranked search to a better-connected peer, which
@@ -480,7 +496,7 @@ func (p *Peer) PickProxy() (directory.PeerID, bool) {
 // consulting both the Bloom-filter candidates and the brokerage.
 func (p *Peer) SearchAll(query string) []search.DocResult {
 	terms := Terms(query)
-	docs, _ := search.Exhaustive(p.view, fetcher{p}, terms)
+	docs, _ := search.Exhaustive(p.view, fetcher{p}, terms, search.Options{Metrics: p.reg})
 	// Also the appropriate brokers (Section 5.1).
 	for _, sn := range p.brokerSearch(terms) {
 		found := false

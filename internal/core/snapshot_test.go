@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 	"time"
 )
@@ -46,6 +47,56 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	docs, _ := q.Search("second document", 3)
 	if len(docs) == 0 {
 		t.Fatal("restored docs not searchable")
+	}
+}
+
+// A restored incarnation must gossip from a version that strictly
+// supersedes everything the previous incarnation announced, or the
+// community discards its records as stale. Publish enough documents
+// that Seq advances well past zero before the snapshot is taken.
+func TestSnapshotRestoredVersionSupersedes(t *testing.T) {
+	p, err := NewPeer(Config{ID: 0, Capacity: 4, Gossip: fastGossip()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := p.Publish(fmt.Sprintf(`<doc%d>body number %d walrus</doc%d>`, i, i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oldVer := p.node.SelfRecord().Ver
+	if oldVer.Seq == 0 {
+		t.Fatal("publishing did not advance Seq; test needs a non-trivial version")
+	}
+	data, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Stop()
+
+	snap, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch != oldVer.Epoch || snap.Seq != oldVer.Seq {
+		t.Fatalf("snapshot counters %d/%d, want %d/%d",
+			snap.Epoch, snap.Seq, oldVer.Epoch, oldVer.Seq)
+	}
+
+	q, err := NewPeer(Config{ID: 0, Capacity: 4, Gossip: fastGossip(), Restore: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Stop()
+	newVer := q.node.SelfRecord().Ver
+	if newVer.Epoch != snap.Epoch+1 {
+		t.Fatalf("restored epoch = %d, want %d", newVer.Epoch, snap.Epoch+1)
+	}
+	if !oldVer.Less(newVer) {
+		t.Fatalf("restored version %v does not supersede %v", newVer, oldVer)
+	}
+	if q.LocalDocs() != 5 {
+		t.Fatalf("restored %d docs, want 5", q.LocalDocs())
 	}
 }
 

@@ -271,7 +271,7 @@ func (h *handler) HandleNotify(sn broker.Snippet) {
 // proxy-search accommodation for modem peers).
 func (h *handler) HandleProxySearch(terms []string, k int) []search.ScoredDoc {
 	p := (*Peer)(h)
-	docs, _ := search.Ranked(p.view, fetcher{p}, terms, search.Options{K: k})
+	docs, _ := search.Ranked(p.view, fetcher{p}, terms, search.Options{K: k, Metrics: p.reg})
 	return docs
 }
 

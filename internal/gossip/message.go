@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"planetp/internal/directory"
+	"planetp/internal/metrics"
 )
 
 // MsgType enumerates protocol messages.
@@ -228,6 +229,11 @@ type Config struct {
 	// re-evaluate persistent queries when a new Bloom filter arrives
 	// (Section 5.1).
 	OnNews func(directory.Record)
+	// Metrics, if non-nil, receives the node's protocol counters
+	// (gossip_* names). The same registry is shared with the transport
+	// or simulator driving the node, so one snapshot covers a whole
+	// peer. Nil disables instrumentation at zero cost.
+	Metrics *metrics.Registry
 }
 
 // WithDefaults fills zero fields with the paper's values.

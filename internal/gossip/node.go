@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"planetp/internal/directory"
+	"planetp/internal/metrics"
 )
 
 // Env is the node's window to its runtime: a clock, a transport, and a
@@ -57,6 +58,41 @@ type Stats struct {
 	IntervalDrop int // resets to base interval
 }
 
+// nodeMetrics holds the node's registry instruments, resolved once at
+// construction so the hot path is a single atomic add. All fields are
+// nil (a no-op) when Config.Metrics is nil.
+type nodeMetrics struct {
+	rounds      *metrics.Counter
+	rumorsSent  *metrics.Counter
+	acksSent    *metrics.Counter
+	aeRequests  *metrics.Counter
+	aeSummaries *metrics.Counter
+	pullsSent   *metrics.Counter
+	recordsSent *metrics.Counter
+	newsLearned *metrics.Counter
+	retired     *metrics.Counter
+	failedSends *metrics.Counter
+	gossipless  *metrics.Counter
+	diffBytes   *metrics.Counter
+}
+
+func newNodeMetrics(r *metrics.Registry) nodeMetrics {
+	return nodeMetrics{
+		rounds:      r.Counter("gossip_rounds_total"),
+		rumorsSent:  r.Counter("gossip_rumors_sent_total"),
+		acksSent:    r.Counter("gossip_acks_sent_total"),
+		aeRequests:  r.Counter("gossip_ae_requests_total"),
+		aeSummaries: r.Counter("gossip_ae_summaries_total"),
+		pullsSent:   r.Counter("gossip_pulls_sent_total"),
+		recordsSent: r.Counter("gossip_records_sent_total"),
+		newsLearned: r.Counter("gossip_news_learned_total"),
+		retired:     r.Counter("gossip_rumors_retired_total"),
+		failedSends: r.Counter("gossip_failed_sends_total"),
+		gossipless:  r.Counter("gossip_gossipless_contacts_total"),
+		diffBytes:   r.Counter("gossip_diff_bytes_sent_total"),
+	}
+}
+
 // Node is one peer's gossip engine. All methods are safe for concurrent
 // use (the live transport delivers from multiple goroutines; the simulator
 // is single-threaded).
@@ -86,6 +122,7 @@ type Node struct {
 	localFresh bool
 
 	stats Stats
+	m     nodeMetrics
 }
 
 // NewNode creates a gossip node for the peer described by self. The
@@ -110,6 +147,7 @@ func NewNode(self directory.Record, dir *directory.Directory, cfg Config, env En
 		// ensures its first rumor pushes have real targets to pick
 		// from.
 		rounds: cfg.AEEvery - 1,
+		m:      newNodeMetrics(cfg.Metrics),
 	}
 	dir.Upsert(self)
 	n.activateLocked(RumorID{Peer: self.ID, Ver: self.Ver})
@@ -219,6 +257,7 @@ func (n *Node) activateLocked(id RumorID) {
 func (n *Node) retireLocked(peer directory.PeerID, ver directory.Version) {
 	delete(n.active, peer)
 	n.stats.Retired++
+	n.m.retired.Inc()
 	if n.cfg.PiggybackCount <= 0 {
 		return
 	}
@@ -255,6 +294,7 @@ func (n *Node) resetIntervalLocked() {
 // applies the adaptive slow-down when the threshold is reached.
 func (n *Node) gossiplessContactLocked() {
 	n.stats.Gossipless++
+	n.m.gossipless.Inc()
 	n.gossipless++
 	if n.gossipless < n.cfg.GossiplessThreshold {
 		return
@@ -320,6 +360,7 @@ func (n *Node) Tick() {
 	n.mu.Lock()
 	n.rounds++
 	n.stats.Rounds++
+	n.m.rounds.Inc()
 	if n.cfg.TDead > 0 && n.rounds%16 == 0 {
 		n.dir.DropDead(n.cfg.TDead, n.env.Now())
 	}
@@ -341,12 +382,20 @@ func (n *Node) Tick() {
 			NumKnown: n.dir.NumKnown(),
 		}
 		n.stats.AESummaries++
+		n.m.aeSummaries.Inc()
 	} else if doAE {
 		msg = &Message{Type: MsgAERequest, From: n.id, Digest: n.dir.Digest()}
 		n.stats.AERequests++
+		n.m.aeRequests.Inc()
 	} else {
 		msg = &Message{Type: MsgRumor, From: n.id, Updates: n.activeUpdatesLocked()}
 		n.stats.RumorsSent++
+		n.m.rumorsSent.Inc()
+		var diffBytes int64
+		for i := range msg.Updates {
+			diffBytes += int64(msg.Updates[i].DiffSize)
+		}
+		n.m.diffBytes.Add(diffBytes)
 		// The source of a rumor keeps aiming its initial push at a fast
 		// peer until one is actually reached (Section 7.2); without
 		// bandwidth awareness any push satisfies it.
@@ -362,6 +411,7 @@ func (n *Node) Tick() {
 		n.mu.Lock()
 		n.stats.FailedSends++
 		n.mu.Unlock()
+		n.m.failedSends.Inc()
 		n.dir.MarkOffline(target, n.env.Now())
 	}
 }
@@ -400,6 +450,7 @@ func (n *Node) applyRecord(rec directory.Record, viaRumor bool) bool {
 	}
 	n.mu.Lock()
 	n.stats.NewsLearned++
+	n.m.newsLearned.Inc()
 	if viaRumor && n.cfg.Mode == ModeRumor {
 		n.activateLocked(RumorID{Peer: rec.ID, Ver: rec.Ver})
 	}
@@ -452,6 +503,7 @@ func (n *Node) receiveRumor(from directory.PeerID, m *Message) {
 		Recent: append([]RumorID(nil), n.retired...),
 	}
 	n.stats.AcksSent++
+	n.m.acksSent.Inc()
 	n.mu.Unlock()
 	n.sendOrMarkOffline(from, ack)
 }
@@ -494,6 +546,7 @@ func (n *Node) receiveAck(from directory.PeerID, m *Message) {
 		ok := n.tryStartPullLocked()
 		if ok {
 			n.stats.PullsSent++
+			n.m.pullsSent.Inc()
 		}
 		n.mu.Unlock()
 		if ok {
@@ -523,6 +576,7 @@ func (n *Node) receivePull(from directory.PeerID, m *Message) {
 	n.mu.Lock()
 	n.stats.RecordsSent += len(ups)
 	n.mu.Unlock()
+	n.m.recordsSent.Add(int64(len(ups)))
 	n.sendOrMarkOffline(from, &Message{Type: MsgRecords, From: n.id, Updates: ups, AsDiff: asDiff})
 }
 
@@ -540,6 +594,7 @@ func (n *Node) receiveAERequest(from directory.PeerID, m *Message) {
 	n.mu.Lock()
 	n.stats.AESummaries++
 	n.mu.Unlock()
+	n.m.aeSummaries.Inc()
 	n.sendOrMarkOffline(from, reply)
 }
 
@@ -569,6 +624,7 @@ func (n *Node) receiveAESummary(from directory.PeerID, m *Message) {
 	ok := n.tryStartPullLocked()
 	if ok {
 		n.stats.PullsSent++
+		n.m.pullsSent.Inc()
 	}
 	n.mu.Unlock()
 	if ok {
@@ -583,6 +639,7 @@ func (n *Node) sendOrMarkOffline(to directory.PeerID, m *Message) {
 		n.mu.Lock()
 		n.stats.FailedSends++
 		n.mu.Unlock()
+		n.m.failedSends.Inc()
 		n.dir.MarkOffline(to, n.env.Now())
 	}
 }

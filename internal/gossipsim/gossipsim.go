@@ -12,6 +12,7 @@ import (
 
 	"planetp/internal/directory"
 	"planetp/internal/gossip"
+	"planetp/internal/metrics"
 	"planetp/internal/simnet"
 )
 
@@ -42,6 +43,10 @@ type Scenario struct {
 	// PullBatch caps anti-entropy pulls (0 = unlimited): the paper's
 	// proposed accommodation for slow peers joining large communities.
 	PullBatch int
+	// Metrics, if non-nil, aggregates the run's protocol and wire
+	// counters (gossip_* from every node, simnet_* from the simulator).
+	// Use a fresh registry per run for per-run summaries.
+	Metrics *metrics.Registry
 }
 
 // The paper's named scenarios.
@@ -71,6 +76,7 @@ func (sc Scenario) config() gossip.Config {
 		BandwidthAware: sc.BandwidthAware,
 		PiggybackCount: sc.Piggyback,
 		MaxPullBatch:   sc.PullBatch,
+		Metrics:        sc.Metrics,
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"planetp/internal/collection"
 	"planetp/internal/directory"
+	"planetp/internal/metrics"
 	"planetp/internal/search"
 )
 
@@ -45,7 +46,7 @@ func Evaluate(c *Community, ks []int) []RPPoint {
 			pt.PeersIDF += float64(len(owners))
 
 			// PlanetP TFxIPF with adaptive stopping.
-			docs, st := search.Ranked(c, c, q.Terms, search.Options{K: k})
+			docs, st := search.Ranked(c, c, q.Terms, search.Options{K: k, Metrics: c.Metrics})
 			retrieved := make([]int, 0, len(docs))
 			for _, d := range docs {
 				if idx, ok := ParseDocKey(d.Key); ok {
@@ -89,17 +90,19 @@ type SizePoint struct {
 }
 
 // RecallVsSize distributes the collection over increasing community sizes
-// and measures recall at fixed k (Figure 6b).
-func RecallVsSize(col *collection.Collection, sizes []int, k int, dist Distribution, seed int64) []SizePoint {
+// and measures recall at fixed k (Figure 6b). reg, if non-nil, aggregates
+// search counters across every community size.
+func RecallVsSize(col *collection.Collection, sizes []int, k int, dist Distribution, seed int64, reg *metrics.Registry) []SizePoint {
 	out := make([]SizePoint, 0, len(sizes))
 	g := BuildGlobal(col)
 	for _, n := range sizes {
 		c := Distribute(col, n, dist, seed+int64(n))
+		c.Metrics = reg
 		var pt SizePoint
 		pt.Peers = n
 		for qi := range col.Queries {
 			q := &col.Queries[qi]
-			docs, _ := search.Ranked(c, c, q.Terms, search.Options{K: k})
+			docs, _ := search.Ranked(c, c, q.Terms, search.Options{K: k, Metrics: c.Metrics})
 			retrieved := make([]int, 0, len(docs))
 			for _, d := range docs {
 				if idx, ok := ParseDocKey(d.Key); ok {

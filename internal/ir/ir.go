@@ -16,6 +16,7 @@ import (
 	"planetp/internal/bloom"
 	"planetp/internal/collection"
 	"planetp/internal/directory"
+	"planetp/internal/metrics"
 	"planetp/internal/search"
 )
 
@@ -51,6 +52,9 @@ type Community struct {
 	// Filters are the peers' real Bloom filters (false positives
 	// included, exactly as deployed PlanetP would gossip them).
 	Filters []*bloom.Filter
+	// Metrics, if non-nil, receives per-query search counters from
+	// experiment runs over this community.
+	Metrics *metrics.Registry
 }
 
 // weibullWeight draws a Weibull(shape, 1) variate.

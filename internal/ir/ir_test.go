@@ -232,7 +232,7 @@ func TestIPFTracksIDF(t *testing.T) {
 
 func TestRecallVsSizeStaysFlat(t *testing.T) {
 	col := testCollection(t)
-	pts := RecallVsSize(col, []int{20, 60, 120}, 20, Weibull, 7)
+	pts := RecallVsSize(col, []int{20, 60, 120}, 20, Weibull, 7, nil)
 	if len(pts) != 3 {
 		t.Fatalf("points = %v", pts)
 	}

@@ -95,7 +95,7 @@ func TestMergedViewTradeoff(t *testing.T) {
 func TestMergedViewExhaustive(t *testing.T) {
 	f := buildMergedFixture()
 	mv := NewMergedView(f, 6)
-	docs, st := Exhaustive(mv, f, []string{"needle"})
+	docs, st := Exhaustive(mv, f, []string{"needle"}, Options{})
 	if len(docs) != 1 || docs[0].Peer != 7 {
 		t.Fatalf("docs = %v", docs)
 	}

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"planetp/internal/directory"
+	"planetp/internal/metrics"
 )
 
 // FilterView is the searcher's read-only view of the community's Bloom
@@ -143,9 +144,33 @@ type Stats struct {
 	PeersContacted int
 	// DocsRetrieved counts documents fetched (before top-k truncation).
 	DocsRetrieved int
+	// StopIterations counts the contact-group iterations the stopping
+	// loop ran (each evaluates the adaptive rule once).
+	StopIterations int
 	// StoppedEarly reports whether the adaptive rule fired (vs running
 	// out of candidates).
 	StoppedEarly bool
+}
+
+// peersPerQueryBounds are the histogram buckets for peers contacted by
+// one query.
+var peersPerQueryBounds = []int64{1, 2, 5, 10, 20, 50, 100, 200, 500}
+
+// record publishes a finished search's cost to reg (no-op when nil).
+// queryKind distinguishes ranked from exhaustive searches.
+func (st Stats) record(reg *metrics.Registry, queryKind string) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("search_" + queryKind + "_queries_total").Inc()
+	reg.Counter("search_peers_contacted_total").Add(int64(st.PeersContacted))
+	reg.Counter("search_docs_retrieved_total").Add(int64(st.DocsRetrieved))
+	reg.Counter("search_stop_iterations_total").Add(int64(st.StopIterations))
+	if st.StoppedEarly {
+		reg.Counter("search_stopped_early_total").Inc()
+	}
+	reg.Histogram("search_peers_per_query", peersPerQueryBounds).
+		Observe(int64(st.PeersContacted))
 }
 
 // Options tunes a ranked search.
@@ -161,6 +186,9 @@ type Options struct {
 	// until k documents are retrieved (the naive rule the paper says
 	// performs terribly).
 	NoAdaptiveStop bool
+	// Metrics, if non-nil, receives per-query counters (search_*
+	// names). Nil disables instrumentation.
+	Metrics *metrics.Registry
 }
 
 // Ranked runs the full TFxIPF selective search (Section 5.2): rank peers
@@ -194,6 +222,7 @@ func Ranked(view FilterView, fetch Fetcher, terms []string, opt Options) ([]Scor
 		if end > len(ranked) {
 			end = len(ranked)
 		}
+		st.StopIterations++
 		contributed := false
 		for _, pr := range ranked[i:end] {
 			docs, err := fetch.QueryPeer(pr.Peer, terms)
@@ -233,6 +262,7 @@ func Ranked(view FilterView, fetch Fetcher, terms []string, opt Options) ([]Scor
 			}
 		}
 	}
+	st.record(opt.Metrics, "ranked")
 	return top, st
 }
 
@@ -262,8 +292,9 @@ func insertTopK(top *[]ScoredDoc, sd ScoredDoc, k int) bool {
 // Exhaustive runs the conjunctive search of Section 5.1: Bloom filters
 // select the candidate peers (those whose filter contains every term);
 // each candidate is asked for its matching documents. Unreachable peers
-// are skipped. Results are sorted by document key.
-func Exhaustive(view FilterView, fetch Fetcher, terms []string) ([]DocResult, Stats) {
+// are skipped. Results are sorted by document key. Only opt.Metrics is
+// consulted (exhaustive search has no k or stopping rule).
+func Exhaustive(view FilterView, fetch Fetcher, terms []string, opt Options) ([]DocResult, Stats) {
 	var st Stats
 	if len(terms) == 0 {
 		return nil, st
@@ -296,5 +327,6 @@ func Exhaustive(view FilterView, fetch Fetcher, terms []string) ([]DocResult, St
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	st.record(opt.Metrics, "exhaustive")
 	return out, st
 }

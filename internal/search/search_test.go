@@ -290,7 +290,7 @@ func TestExhaustiveSearch(t *testing.T) {
 	f.addDoc(0, "both", map[string]int{"x": 1, "y": 1})
 	f.addDoc(1, "xonly", map[string]int{"x": 1})
 	f.addDoc(2, "boty", map[string]int{"x": 2, "y": 9})
-	docs, st := Exhaustive(f, f, []string{"x", "y"})
+	docs, st := Exhaustive(f, f, []string{"x", "y"}, Options{})
 	if len(docs) != 2 {
 		t.Fatalf("docs = %v", docs)
 	}
@@ -301,7 +301,7 @@ func TestExhaustiveSearch(t *testing.T) {
 	if st.PeersContacted != 2 {
 		t.Fatalf("contacted %d peers, want 2", st.PeersContacted)
 	}
-	if docs2, _ := Exhaustive(f, f, nil); docs2 != nil {
+	if docs2, _ := Exhaustive(f, f, nil, Options{}); docs2 != nil {
 		t.Fatal("empty exhaustive query")
 	}
 }
@@ -311,7 +311,7 @@ func TestExhaustiveSkipsFailed(t *testing.T) {
 	f.addDoc(0, "a", map[string]int{"x": 1})
 	f.addDoc(1, "b", map[string]int{"x": 1})
 	f.fail[0] = true
-	docs, _ := Exhaustive(f, f, []string{"x"})
+	docs, _ := Exhaustive(f, f, []string{"x"}, Options{})
 	if len(docs) != 1 || docs[0].Key != "b" {
 		t.Fatalf("docs = %v", docs)
 	}

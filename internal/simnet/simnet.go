@@ -19,6 +19,7 @@ import (
 
 	"planetp/internal/directory"
 	"planetp/internal/gossip"
+	"planetp/internal/metrics"
 )
 
 // LinkSpeed is a link's bandwidth in bits per second.
@@ -140,14 +141,38 @@ type Sim struct {
 	bwTimeline  []int64 // bytes sent, bucketed per simulated second
 	onlineCount int
 
+	m simMetrics
+
 	// Hooks for experiment harnesses (may be nil).
 	AfterDeliver   func(to *Peer, from directory.PeerID, m *gossip.Message)
 	OnOnlineChange func(p *Peer, online bool)
 }
 
+// simMetrics holds the simulator's registry instruments, resolved from
+// the gossip config's registry at New (all nil — a no-op — without one).
+type simMetrics struct {
+	bytes        *metrics.Counter
+	msgs         *metrics.Counter
+	failedSends  *metrics.Counter
+	queueDelayMS *metrics.Histogram
+}
+
+// queueDelayBounds bucket per-message link queueing delay in ms.
+var queueDelayBounds = []int64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 60000}
+
+func newSimMetrics(r *metrics.Registry) simMetrics {
+	return simMetrics{
+		bytes:        r.Counter("simnet_bytes_total"),
+		msgs:         r.Counter("simnet_msgs_total"),
+		failedSends:  r.Counter("simnet_failed_sends_total"),
+		queueDelayMS: r.Histogram("simnet_queue_delay_ms", queueDelayBounds),
+	}
+}
+
 // New creates a simulation with the given community capacity (id space),
 // gossip configuration, physical parameters, and seed. Peers are added
-// with AddPeer.
+// with AddPeer. If cfg.Metrics is set, the simulator publishes its wire
+// accounting (simnet_* names) to the same registry the nodes use.
 func New(capacity int, cfg gossip.Config, params Params, seed int64) *Sim {
 	cfg = cfg.WithDefaults() // the sim charges WireSize with these Sizes
 	return &Sim{
@@ -157,6 +182,7 @@ func New(capacity int, cfg gossip.Config, params Params, seed int64) *Sim {
 		cfg:      cfg,
 		capacity: capacity,
 		peers:    make([]*Peer, 0, capacity),
+		m:        newSimMetrics(cfg.Metrics),
 	}
 }
 
@@ -229,6 +255,8 @@ func (s *Sim) BandwidthTimeline() []int64 { return s.bwTimeline }
 func (s *Sim) accountBytes(p *Peer, n int) {
 	s.TotalBytes += int64(n)
 	s.TotalMsgs++
+	s.m.bytes.Add(int64(n))
+	s.m.msgs.Inc()
 	p.BytesSent += int64(n)
 	sec := int(s.now / time.Second)
 	for len(s.bwTimeline) <= sec {
@@ -394,6 +422,7 @@ func (p *Peer) Send(to directory.PeerID, m *gossip.Message) error {
 	target := s.peers[to]
 	if !target.online {
 		s.FailedSends++
+		s.m.failedSends.Inc()
 		return errOffline{to}
 	}
 	// Receiver-side overload: a peer whose link queue is hopelessly deep
@@ -402,6 +431,7 @@ func (p *Peer) Send(to directory.PeerID, m *gossip.Message) error {
 	// from).
 	if bl := s.params.RecvBacklog; bl > 0 && target.linkBusyUntil > s.now+bl {
 		s.FailedSends++
+		s.m.failedSends.Inc()
 		return errOffline{to}
 	}
 	size := m.WireSize(s.cfg.Sizes)
@@ -417,6 +447,10 @@ func (p *Peer) Send(to directory.PeerID, m *gossip.Message) error {
 	recvDone := recvStart + time.Duration(bits/float64(target.Speed)*float64(time.Second))
 	target.linkBusyUntil = recvDone
 	deliverAt := recvDone + s.params.CPUTime
+	// Queueing delay: time the message spent waiting for either access
+	// link, beyond pure transmission + propagation.
+	queued := (sendStart - s.now) + (recvStart - arrive)
+	s.m.queueDelayMS.Observe(queued.Milliseconds())
 
 	from := p.ID
 	s.At(deliverAt, func() {

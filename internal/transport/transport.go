@@ -17,11 +17,13 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"planetp/internal/broker"
 	"planetp/internal/directory"
 	"planetp/internal/gossip"
+	"planetp/internal/metrics"
 	"planetp/internal/search"
 )
 
@@ -61,7 +63,45 @@ const (
 	KindDoc
 	KindRecordResp
 	KindProxyResp
+
+	numKinds
 )
+
+// String implements fmt.Stringer; the names also suffix the per-kind
+// byte counters (transport_tx_bytes_<kind>).
+func (k Kind) String() string {
+	switch k {
+	case KindGossip:
+		return "gossip"
+	case KindQuery:
+		return "query"
+	case KindBrokerPut:
+		return "broker_put"
+	case KindBrokerGet:
+		return "broker_get"
+	case KindBrokerWatch:
+		return "broker_watch"
+	case KindNotify:
+		return "notify"
+	case KindGetDoc:
+		return "get_doc"
+	case KindRecord:
+		return "record"
+	case KindProxySearch:
+		return "proxy_search"
+	case KindQueryResp:
+		return "query_resp"
+	case KindSnippets:
+		return "snippets"
+	case KindDoc:
+		return "doc"
+	case KindRecordResp:
+		return "record_resp"
+	case KindProxyResp:
+		return "proxy_resp"
+	}
+	return "unknown"
+}
 
 // Envelope is the single gob wire unit.
 type Envelope struct {
@@ -131,16 +171,94 @@ type Transport struct {
 	wg     sync.WaitGroup
 
 	// DialTimeout bounds connection attempts (drives off-line
-	// detection).
+	// detection). Default 2 s.
 	DialTimeout time.Duration
+	// RPCTimeout bounds a whole request/response exchange (encode,
+	// server work, decode) once the connection is up. Zero means
+	// 5 × DialTimeout, preserving the historical behavior of scaling
+	// with the dial budget.
+	RPCTimeout time.Duration
+	// ServeTimeout bounds one inbound request on the server side, so a
+	// client that connects and stalls cannot pin a handler goroutine
+	// forever. Default 30 s.
+	ServeTimeout time.Duration
 	// BytesSent/BytesRecv count real encoded bytes (approximate:
-	// counted at the net.Conn boundary).
+	// counted at the net.Conn boundary). Read with atomic.LoadInt64.
 	BytesSent, BytesRecv int64
+
+	m tpMetrics
+}
+
+// tpMetrics holds the transport's registry instruments, resolved once at
+// construction (all nil — a no-op — when no registry is supplied).
+type tpMetrics struct {
+	dials        *metrics.Counter
+	dialFailures *metrics.Counter
+	timeouts     *metrics.Counter
+	rpcLatencyUS *metrics.Histogram
+	txBytes      [numKinds]*metrics.Counter
+	rxBytes      [numKinds]*metrics.Counter
+}
+
+func newTpMetrics(r *metrics.Registry) tpMetrics {
+	m := tpMetrics{
+		dials:        r.Counter("transport_dials_total"),
+		dialFailures: r.Counter("transport_dial_failures_total"),
+		timeouts:     r.Counter("transport_timeouts_total"),
+		rpcLatencyUS: r.Histogram("transport_rpc_latency_us",
+			[]int64{100, 500, 1000, 5000, 10000, 50000, 100000, 500000, 1000000}),
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		m.txBytes[k] = r.Counter("transport_tx_bytes_" + k.String())
+		m.rxBytes[k] = r.Counter("transport_rx_bytes_" + k.String())
+	}
+	return m
+}
+
+// countTimeout records err in the timeout counter when it is a deadline
+// expiry.
+func (t *Transport) countTimeout(err error) {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		t.m.timeouts.Inc()
+	}
+}
+
+// countingConn counts bytes crossing a net.Conn so the transport can
+// attribute real wire volume to an envelope kind.
+type countingConn struct {
+	net.Conn
+	sent, recv int64
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.recv += int64(n)
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.sent += int64(n)
+	return n, err
+}
+
+// account charges a finished exchange's bytes to the transport totals and
+// the per-kind counters. kind is the request kind; responses are charged
+// to the same kind (the exchange that caused them).
+func (t *Transport) account(kind Kind, cc *countingConn) {
+	atomic.AddInt64(&t.BytesSent, cc.sent)
+	atomic.AddInt64(&t.BytesRecv, cc.recv)
+	if kind < numKinds {
+		t.m.txBytes[kind].Add(cc.sent)
+		t.m.rxBytes[kind].Add(cc.recv)
+	}
 }
 
 // New starts listening on listenAddr ("" or "127.0.0.1:0" for an
-// ephemeral port).
-func New(id directory.PeerID, listenAddr string, handler Handler, resolve Resolver, seed int64) (*Transport, error) {
+// ephemeral port). reg, when non-nil, receives the transport's metrics
+// (transport_* names); nil disables instrumentation.
+func New(id directory.PeerID, listenAddr string, handler Handler, resolve Resolver, seed int64, reg *metrics.Registry) (*Transport, error) {
 	if listenAddr == "" {
 		listenAddr = "127.0.0.1:0"
 	}
@@ -150,14 +268,24 @@ func New(id directory.PeerID, listenAddr string, handler Handler, resolve Resolv
 	}
 	t := &Transport{
 		id: id, ln: ln, handler: handler, resolve: resolve,
-		start:       time.Now(),
-		rng:         rand.New(rand.NewSource(seed)),
-		intervalCh:  make(chan time.Duration, 4),
-		DialTimeout: 2 * time.Second,
+		start:        time.Now(),
+		rng:          rand.New(rand.NewSource(seed)),
+		intervalCh:   make(chan time.Duration, 4),
+		DialTimeout:  2 * time.Second,
+		ServeTimeout: 30 * time.Second,
+		m:            newTpMetrics(reg),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
+}
+
+// rpcTimeout resolves the effective request/response deadline.
+func (t *Transport) rpcTimeout() time.Duration {
+	if t.RPCTimeout > 0 {
+		return t.RPCTimeout
+	}
+	return 5 * t.DialTimeout
 }
 
 // Addr returns the bound listen address.
@@ -206,9 +334,23 @@ func (t *Transport) Send(to directory.PeerID, m *gossip.Message) error {
 func (t *Transport) dial(to directory.PeerID) (net.Conn, error) {
 	addr, ok := t.resolve(to)
 	if !ok || addr == "" {
+		t.m.dialFailures.Inc()
 		return nil, fmt.Errorf("transport: no address for peer %d", to)
 	}
-	return net.DialTimeout("tcp", addr, t.DialTimeout)
+	return t.dialAddr(addr)
+}
+
+// dialAddr connects to a raw address, counting the attempt and its
+// outcome.
+func (t *Transport) dialAddr(addr string) (net.Conn, error) {
+	t.m.dials.Inc()
+	conn, err := net.DialTimeout("tcp", addr, t.DialTimeout)
+	if err != nil {
+		t.m.dialFailures.Inc()
+		t.countTimeout(err)
+		return nil, err
+	}
+	return conn, nil
 }
 
 // oneway sends an envelope without waiting for a reply.
@@ -217,9 +359,17 @@ func (t *Transport) oneway(to directory.PeerID, env *Envelope) error {
 	if err != nil {
 		return err
 	}
-	defer conn.Close()
+	cc := &countingConn{Conn: conn}
+	defer func() {
+		conn.Close()
+		t.account(env.Kind, cc)
+	}()
 	_ = conn.SetDeadline(time.Now().Add(t.DialTimeout))
-	return gob.NewEncoder(conn).Encode(env)
+	if err := gob.NewEncoder(cc).Encode(env); err != nil {
+		t.countTimeout(err)
+		return err
+	}
+	return nil
 }
 
 // call sends an envelope and reads one reply.
@@ -228,35 +378,37 @@ func (t *Transport) call(to directory.PeerID, env *Envelope) (*Envelope, error) 
 	if err != nil {
 		return nil, err
 	}
-	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(5 * t.DialTimeout))
-	if err := gob.NewEncoder(conn).Encode(env); err != nil {
-		return nil, err
-	}
-	var resp Envelope
-	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
-		return nil, err
-	}
-	if resp.Err != "" {
-		return nil, errors.New(resp.Err)
-	}
-	return &resp, nil
+	return t.exchange(conn, env)
 }
 
 // callAddr is like call but dials a raw address (bootstrap, before the
 // peer is in the directory).
 func (t *Transport) callAddr(addr string, env *Envelope) (*Envelope, error) {
-	conn, err := net.DialTimeout("tcp", addr, t.DialTimeout)
+	conn, err := t.dialAddr(addr)
 	if err != nil {
 		return nil, err
 	}
-	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(5 * t.DialTimeout))
-	if err := gob.NewEncoder(conn).Encode(env); err != nil {
+	return t.exchange(conn, env)
+}
+
+// exchange runs one request/response round trip on an open connection,
+// closing it when done.
+func (t *Transport) exchange(conn net.Conn, env *Envelope) (*Envelope, error) {
+	start := time.Now()
+	cc := &countingConn{Conn: conn}
+	defer func() {
+		conn.Close()
+		t.account(env.Kind, cc)
+		t.m.rpcLatencyUS.Observe(time.Since(start).Microseconds())
+	}()
+	_ = conn.SetDeadline(time.Now().Add(t.rpcTimeout()))
+	if err := gob.NewEncoder(cc).Encode(env); err != nil {
+		t.countTimeout(err)
 		return nil, err
 	}
 	var resp Envelope
-	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+	if err := gob.NewDecoder(cc).Decode(&resp); err != nil {
+		t.countTimeout(err)
 		return nil, err
 	}
 	if resp.Err != "" {
@@ -352,13 +504,18 @@ func (t *Transport) acceptLoop() {
 
 // serve handles one inbound connection (one request).
 func (t *Transport) serve(conn net.Conn) {
-	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	cc := &countingConn{Conn: conn}
 	var env Envelope
-	if err := gob.NewDecoder(conn).Decode(&env); err != nil {
+	defer func() {
+		conn.Close()
+		t.account(env.Kind, cc)
+	}()
+	_ = conn.SetDeadline(time.Now().Add(t.ServeTimeout))
+	if err := gob.NewDecoder(cc).Decode(&env); err != nil {
+		t.countTimeout(err)
 		return
 	}
-	enc := gob.NewEncoder(conn)
+	enc := gob.NewEncoder(cc)
 	switch env.Kind {
 	case KindGossip:
 		if env.Gossip != nil {

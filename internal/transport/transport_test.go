@@ -9,6 +9,7 @@ import (
 	"planetp/internal/broker"
 	"planetp/internal/directory"
 	"planetp/internal/gossip"
+	"planetp/internal/metrics"
 	"planetp/internal/search"
 )
 
@@ -97,12 +98,12 @@ func pair(t *testing.T) (*Transport, *recordingHandler, *Transport, *recordingHa
 		return "", false
 	}
 	var err error
-	ta, err = New(0, "", ha, resolve, 1)
+	ta, err = New(0, "", ha, resolve, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(ta.Close)
-	tb, err = New(1, "", hb, resolve, 2)
+	tb, err = New(1, "", hb, resolve, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,6 +267,90 @@ func TestSendAfterCloseFails(t *testing.T) {
 	// caller must see an error so off-line detection works.
 	if err := ta.Send(1, &gossip.Message{Type: gossip.MsgAERequest}); err == nil {
 		t.Fatal("send to closed transport should fail")
+	}
+}
+
+func TestRefusedConnectionCountsDialFailure(t *testing.T) {
+	reg := metrics.NewRegistry()
+	h := newHandler(0)
+	// Grab a port that refuses connections: listen, note the address,
+	// close the listener.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := l.Addr().String()
+	l.Close()
+	resolve := func(id directory.PeerID) (string, bool) {
+		if id == 1 {
+			return dead, true
+		}
+		return "", false
+	}
+	ta, err := New(0, "", h, resolve, 1, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ta.Close)
+	ta.DialTimeout = 2 * time.Second
+
+	done := make(chan error, 1)
+	go func() { done <- ta.Send(1, &gossip.Message{Type: gossip.MsgAERequest}) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("send to refusing peer should fail")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("send to refusing peer hung")
+	}
+	snap := reg.Snapshot()
+	if got := snap.Get("transport_dial_failures_total"); got < 1 {
+		t.Fatalf("transport_dial_failures_total = %d, want >= 1", got)
+	}
+	if got := snap.Get("transport_dials_total"); got < 1 {
+		t.Fatalf("transport_dials_total = %d, want >= 1", got)
+	}
+}
+
+func TestRPCCountsBytesAndLatency(t *testing.T) {
+	reg := metrics.NewRegistry()
+	ha, hb := newHandler(0), newHandler(1)
+	var ta, tb *Transport
+	resolve := func(id directory.PeerID) (string, bool) {
+		switch id {
+		case 0:
+			return ta.Addr(), true
+		case 1:
+			return tb.Addr(), true
+		}
+		return "", false
+	}
+	var err error
+	ta, err = New(0, "", ha, resolve, 1, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ta.Close)
+	tb, err = New(1, "", hb, resolve, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Close)
+
+	if _, err := ta.Query(1, []string{"gossip"}, false); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Get("transport_tx_bytes_query"); got <= 0 {
+		t.Fatalf("transport_tx_bytes_query = %d, want > 0", got)
+	}
+	if got := snap.Get("transport_rx_bytes_query"); got <= 0 {
+		t.Fatalf("transport_rx_bytes_query = %d, want > 0", got)
+	}
+	hs, ok := snap.Histograms["transport_rpc_latency_us"]
+	if !ok || hs.Count != 1 {
+		t.Fatalf("transport_rpc_latency_us = %+v, want one observation", hs)
 	}
 }
 

@@ -35,6 +35,7 @@ import (
 	"planetp/internal/directory"
 	"planetp/internal/doc"
 	"planetp/internal/gossip"
+	"planetp/internal/metrics"
 	"planetp/internal/pfs"
 	"planetp/internal/search"
 )
@@ -91,6 +92,18 @@ type SemanticDir = pfs.Dir
 
 // Snapshot is a peer's durable state for restarts.
 type Snapshot = core.Snapshot
+
+// MetricsRegistry collects a peer's counters, gauges, and histograms
+// across every layer; Peer.Metrics() returns one (never nil). A nil
+// registry is safe everywhere and disables instrumentation.
+type MetricsRegistry = metrics.Registry
+
+// MetricsSnapshot is a point-in-time copy of a registry's values.
+type MetricsSnapshot = metrics.Snapshot
+
+// NewMetricsRegistry creates an empty metrics registry (for sharing one
+// across peers, or for passing into Config.Metrics explicitly).
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
 // NewPeer constructs (but does not start) a peer.
 func NewPeer(cfg Config) (*Peer, error) { return core.NewPeer(cfg) }

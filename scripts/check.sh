@@ -1,0 +1,17 @@
+#!/bin/sh
+# check.sh — the repo's pre-merge gate: vet, build, and race-enabled
+# tests for every package. Run from anywhere inside the repo.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== OK"
