@@ -9,6 +9,8 @@
 //	gossipsim -exp fig4a [-n 1000] [-arrivals 100]
 //	gossipsim -exp fig4b [-n 1000]   (also emits the fig4c timeline)
 //	gossipsim -exp fig5  [-n 2000]
+//	gossipsim -exp faults [-n 50] [-drop 0.25] [-dup 0] [-delay 0]
+//	          [-partition-at 0s] [-heal-at 0s] [-fault-seed 42]
 package main
 
 import (
@@ -32,6 +34,12 @@ func main() {
 	arrivals := flag.Int("arrivals", 100, "arrivals for fig4a")
 	seed := flag.Int64("seed", 1, "random seed")
 	scensArg := flag.String("scenarios", "", "comma-separated scenario subset (default per experiment)")
+	drop := flag.Float64("drop", 0.25, "faults: message drop probability")
+	dup := flag.Float64("dup", 0, "faults: message duplication probability")
+	delay := flag.Float64("delay", 0, "faults: message delay probability")
+	partitionAt := flag.Duration("partition-at", 0, "faults: when to split the community in half (with -heal-at)")
+	healAt := flag.Duration("heal-at", 0, "faults: when the partition heals (> -partition-at enables the split)")
+	faultSeed := flag.Int64("fault-seed", 42, "faults: fault-schedule seed")
 	flag.Parse()
 
 	switch *exp {
@@ -50,6 +58,13 @@ func main() {
 		fig4bc(*n, *seed)
 	case "fig5":
 		fig5(*n, *seed)
+	case "faults":
+		faults(*n, gossipsim.FaultSpec{
+			Drop: *drop, Dup: *dup, Delay: *delay,
+			Partition:   *healAt > *partitionAt,
+			PartitionAt: *partitionAt, HealAt: *healAt,
+			Seed: *faultSeed,
+		}, *seed)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -186,6 +201,24 @@ func fig4bc(n int, seed int64) {
 		}
 		summarize(reg, fmt.Sprintf("%s n=%d churn", sc.Name, n), n)
 	}
+}
+
+// faults: convergence of one update through injected faults, with the
+// schedule fingerprint so two runs with equal seeds can be diffed.
+func faults(n int, spec gossipsim.FaultSpec, seed int64) {
+	fmt.Println("# Faults: propagate one 1000-key update through injected message faults")
+	fmt.Printf("# drop=%.2f dup=%.2f delay=%.2f partition=%v heal=%v fault_seed=%d seed=%d\n",
+		spec.Drop, spec.Dup, spec.Delay, spec.PartitionAt, spec.HealAt, spec.Seed, seed)
+	reg := metrics.NewRegistry()
+	sc := gossipsim.LAN
+	sc.Metrics = reg
+	r := gossipsim.ConvergenceUnderFaults(sc, n, spec, seed)
+	fmt.Println("peers,converged,time_s,digests_equal,schedule_hash,drops,dups,delays,dial_fails,partition_blocks,messages")
+	fmt.Printf("%d,%v,%.1f,%v,%016x,%d,%d,%d,%d,%d,%d\n",
+		n, r.Converged, r.Time.Seconds(), r.DigestsEqual, r.ScheduleHash,
+		r.Faults.Drops, r.Faults.Dups, r.Faults.Delays, r.Faults.DialFails,
+		r.Faults.PartitionBlocks, r.Faults.Messages)
+	summarize(reg, fmt.Sprintf("faults n=%d", n), n)
 }
 
 // fig5: 2000-member dynamic community; MIX-F/MIX-S fast/slow-source

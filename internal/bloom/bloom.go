@@ -296,6 +296,15 @@ func (f *Filter) ApplyDiff(positions []uint64) (int, error) {
 // wire format version for Compress/Decompress and diff encoding.
 const wireVersion = 1
 
+// Decode-side sanity bounds: a filter larger than 32 MB (2^28 bits) or a
+// Golomb parameter beyond OptimalM's ceiling (2^30, the empty-filter
+// value) cannot come from our encoder, and rejecting them up front keeps
+// hostile headers from forcing huge allocations or degenerate decoders.
+const (
+	maxWireBits = 1 << 28
+	maxWireM    = 1 << 30
+)
+
 // Compress returns the Golomb-coded wire encoding of the filter:
 //
 //	[version u8][nbits uvarint][nhash uvarint][nkeys uvarint]
@@ -353,15 +362,20 @@ func Decompress(buf []byte) (*Filter, error) {
 	if err != nil {
 		return nil, err
 	}
-	if nbits == 0 || nbits > 1<<32 || nhash == 0 || nhash > 64 || nset > nbits {
+	if nbits == 0 || nbits > maxWireBits || nhash == 0 || nhash > 64 || nset > nbits {
 		return nil, ErrCorrupt
 	}
-	f := New(int(nbits), int(nhash))
-	f.nkeys = nkeys
+	if m == 0 || m > maxWireM {
+		return nil, ErrCorrupt
+	}
+	// Decode the positions before allocating the filter, so a corrupt
+	// header cannot cost a large allocation for garbage payload.
 	positions, err := golomb.DecodeGaps(rest, m, int(nset))
 	if err != nil {
 		return nil, fmt.Errorf("bloom: %w", err)
 	}
+	f := New(int(nbits), int(nhash))
+	f.nkeys = nkeys
 	if _, err := f.ApplyDiff(positions); err != nil {
 		return nil, err
 	}
@@ -401,7 +415,7 @@ func DecodeDiff(buf []byte) ([]uint64, error) {
 		return nil, ErrCorrupt
 	}
 	rest = rest[n:]
-	if count > 1<<32 || m == 0 {
+	if count > maxWireBits || m == 0 || m > maxWireM {
 		return nil, ErrCorrupt
 	}
 	positions, err := golomb.DecodeGaps(rest, m, int(count))

@@ -1,0 +1,87 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzDecompress feeds arbitrary bytes to the filter decoder: it must
+// return a filter or an error, never panic or allocate unboundedly.
+func FuzzDecompress(f *testing.F) {
+	small := New(1024, 2)
+	small.Insert("alpha")
+	small.Insert("beta")
+	f.Add(small.Compress())
+	f.Add(Default().Compress())
+	f.Add([]byte{})
+	f.Add([]byte{wireVersion})
+	// Version byte then hostile varints (huge nbits / m / nset).
+	f.Add([]byte{wireVersion, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x0f})
+	f.Add([]byte{wireVersion, 0x00, 0x01, 0x00, 0x00, 0x00})
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		g, err := Decompress(buf)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode and decode to an equal filter.
+		h, err := Decompress(g.Compress())
+		if err != nil {
+			t.Fatalf("re-decode of valid filter: %v", err)
+		}
+		if !g.Equal(h) {
+			t.Fatal("re-encoded filter differs")
+		}
+	})
+}
+
+// FuzzDecodeDiff feeds arbitrary bytes to the diff decoder.
+func FuzzDecodeDiff(f *testing.F) {
+	diff, _ := EncodeDiff([]uint64{1, 5, 900}, 1024)
+	f.Add(diff)
+	f.Add([]byte{})
+	f.Add([]byte{wireVersion, 0x05, 0x00})
+	f.Add([]byte{wireVersion, 0xff, 0xff, 0xff, 0xff, 0x0f, 0x01})
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		positions, err := DecodeDiff(buf)
+		if err != nil {
+			return
+		}
+		for i := 1; i < len(positions); i++ {
+			if positions[i] <= positions[i-1] {
+				t.Fatalf("diff positions not strictly increasing: %d then %d",
+					positions[i-1], positions[i])
+			}
+		}
+	})
+}
+
+// FuzzCompressRoundTrip inserts fuzz-derived keys and demands that the
+// Golomb wire encoding round-trips to an identical filter.
+func FuzzCompressRoundTrip(f *testing.F) {
+	f.Add([]byte("the quick brown fox"), uint16(1024), uint8(2))
+	f.Add([]byte{}, uint16(64), uint8(1))
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, uint16(8192), uint8(4))
+	f.Fuzz(func(t *testing.T, keys []byte, nbits uint16, nhash uint8) {
+		if nbits == 0 {
+			nbits = 1
+		}
+		if nhash == 0 || nhash > 16 {
+			nhash = 2
+		}
+		g := New(int(nbits), int(nhash))
+		for i := 0; i+2 <= len(keys); i += 2 {
+			g.Insert(fmt.Sprintf("k-%x", keys[i:i+2]))
+		}
+		h, err := Decompress(g.Compress())
+		if err != nil {
+			t.Fatalf("decompress own encoding: %v", err)
+		}
+		if !g.Equal(h) {
+			t.Fatal("round trip changed the filter")
+		}
+		if g.Keys() != h.Keys() || g.SetBits() != h.SetBits() {
+			t.Fatalf("round trip changed counters: keys %d/%d setbits %d/%d",
+				g.Keys(), h.Keys(), g.SetBits(), h.SetBits())
+		}
+	})
+}

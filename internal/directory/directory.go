@@ -404,6 +404,29 @@ func (d *Directory) PickOnline(rng *rand.Rand, filter PickFilter) (PeerID, bool)
 	return chosen, chosen != None
 }
 
+// PickOffline returns a uniformly random known-off-line peer other than
+// self, or (None, false) when every known peer is on-line. The gossip
+// layer uses it to probe suspected-dead peers for recovery — the path by
+// which a healed partition or a transiently unreachable peer is
+// rediscovered. Linear reservoir scan: off-line peers are the exception
+// and the call runs at most once every few rounds.
+func (d *Directory) PickOffline(rng *rand.Rand) (PeerID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var chosen PeerID = None
+	count := 0
+	for id := range d.entries {
+		e := &d.entries[id]
+		if e.Known && !e.Online && PeerID(id) != d.self {
+			count++
+			if rng.Intn(count) == 0 {
+				chosen = PeerID(id)
+			}
+		}
+	}
+	return chosen, chosen != None
+}
+
 // OnlineIDs returns the ids currently believed on-line (excluding none —
 // self is included if its record is present and on-line).
 func (d *Directory) OnlineIDs() []PeerID {

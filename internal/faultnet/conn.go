@@ -1,0 +1,107 @@
+// net.Conn-level fault shim for the live transport. A Plan mounts onto
+// internal/transport through its DialHook seam: connection attempts can
+// be failed (dial faults, partitions), and established connections can be
+// degraded — a dropped message becomes a blackhole connection whose
+// writes succeed but go nowhere, a delayed message becomes a connection
+// that stalls before its first write. Duplication is not modeled at the
+// conn level (one connection carries exactly one envelope in PlanetP's
+// wire model, and TCP never duplicates a stream).
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"planetp/internal/directory"
+)
+
+// ErrInjected marks transport-level failures manufactured by a Plan, so
+// tests and callers can tell injected faults from real network errors.
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// DialFunc matches transport.Transport's DialHook seam.
+type DialFunc func(to directory.PeerID, addr string, timeout time.Duration) (net.Conn, error)
+
+// Dialer wraps base with fault injection for messages sent by self. clock
+// supplies the driver time partitions are scripted against (typically
+// time-since-start). A nil base dials real TCP.
+func (p *Plan) Dialer(self directory.PeerID, clock func() time.Duration, base DialFunc) DialFunc {
+	if base == nil {
+		base = func(_ directory.PeerID, addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	return func(to directory.PeerID, addr string, timeout time.Duration) (net.Conn, error) {
+		f := p.Fate(clock(), self, to)
+		switch {
+		case f.Partitioned:
+			return nil, fmt.Errorf("%w: partitioned from peer %d", ErrInjected, to)
+		case f.DialFail:
+			return nil, fmt.Errorf("%w: dial to peer %d failed", ErrInjected, to)
+		case f.Drop:
+			// The connection "succeeds" but the payload vanishes: the
+			// sender observes a clean send, the receiver nothing.
+			return &blackholeConn{local: localAddr{}, remote: localAddr{}}, nil
+		}
+		conn, err := base(to, addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		if f.Delay > 0 {
+			return &delayConn{Conn: conn, delay: f.Delay}, nil
+		}
+		return conn, nil
+	}
+}
+
+// localAddr is a placeholder net.Addr for synthetic connections.
+type localAddr struct{}
+
+func (localAddr) Network() string { return "faultnet" }
+func (localAddr) String() string  { return "faultnet:blackhole" }
+
+// blackholeConn swallows writes and reports a closed stream on read —
+// the observable behavior of a message lost after a successful send.
+type blackholeConn struct {
+	local, remote net.Addr
+	closed        bool
+}
+
+func (c *blackholeConn) Read([]byte) (int, error) {
+	// A reply will never come; surface it as the peer closing on us so
+	// RPC callers fail fast instead of burning their whole deadline.
+	return 0, errors.New("faultnet: response dropped")
+}
+func (c *blackholeConn) Write(p []byte) (int, error) {
+	if c.closed {
+		return 0, net.ErrClosed
+	}
+	return len(p), nil
+}
+func (c *blackholeConn) Close() error                { c.closed = true; return nil }
+func (c *blackholeConn) LocalAddr() net.Addr         { return c.local }
+func (c *blackholeConn) RemoteAddr() net.Addr        { return c.remote }
+func (c *blackholeConn) SetDeadline(time.Time) error { return nil }
+func (c *blackholeConn) SetReadDeadline(time.Time) error {
+	return nil
+}
+func (c *blackholeConn) SetWriteDeadline(time.Time) error { return nil }
+
+// delayConn stalls the first write by delay, injecting latency ahead of
+// the envelope. Later writes on the same connection pass through — the
+// message as a whole was late, not each byte.
+type delayConn struct {
+	net.Conn
+	delay   time.Duration
+	delayed bool
+}
+
+func (c *delayConn) Write(p []byte) (int, error) {
+	if !c.delayed {
+		c.delayed = true
+		time.Sleep(c.delay)
+	}
+	return c.Conn.Write(p)
+}

@@ -1,0 +1,191 @@
+package faultnet
+
+import (
+	"errors"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"planetp/internal/directory"
+	"planetp/internal/metrics"
+)
+
+// replay runs the same synthetic traffic through a fresh plan.
+func replay(cfg Config, msgs int) (*Plan, []Fate) {
+	p := New(cfg, nil)
+	fates := make([]Fate, 0, msgs)
+	for i := 0; i < msgs; i++ {
+		from := directory.PeerID(i % 7)
+		to := directory.PeerID((i * 3) % 11)
+		now := time.Duration(i) * time.Second
+		fates = append(fates, p.Fate(now, from, to))
+	}
+	return p, fates
+}
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	cfg := Config{Seed: 42, Drop: 0.25, Dup: 0.1, Delay: 0.2, DialFail: 0.05}
+	p1, f1 := replay(cfg, 5000)
+	p2, f2 := replay(cfg, 5000)
+	if p1.ScheduleHash() != p2.ScheduleHash() {
+		t.Fatalf("schedule hashes differ: %x vs %x", p1.ScheduleHash(), p2.ScheduleHash())
+	}
+	if p1.Counts() != p2.Counts() {
+		t.Fatalf("counts differ: %+v vs %+v", p1.Counts(), p2.Counts())
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("fate %d differs: %+v vs %+v", i, f1[i], f2[i])
+		}
+	}
+}
+
+func TestDifferentSeedDifferentSchedule(t *testing.T) {
+	cfg := Config{Seed: 1, Drop: 0.25}
+	p1, _ := replay(cfg, 2000)
+	cfg.Seed = 2
+	p2, _ := replay(cfg, 2000)
+	if p1.ScheduleHash() == p2.ScheduleHash() {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// Determinism must hold per-pair regardless of interleaving with other
+// pairs: the pair (1,2)'s fates depend only on its own message ordinals.
+func TestPairStreamsIndependent(t *testing.T) {
+	cfg := Config{Seed: 7, Drop: 0.3, Delay: 0.3}
+	// Run A: only pair (1,2).
+	a := New(cfg, nil)
+	var fa []Fate
+	for i := 0; i < 100; i++ {
+		fa = append(fa, a.Fate(0, 1, 2))
+	}
+	// Run B: pair (1,2) interleaved with unrelated traffic.
+	b := New(cfg, nil)
+	var fb []Fate
+	for i := 0; i < 100; i++ {
+		b.Fate(0, 3, 4)
+		fb = append(fb, b.Fate(0, 1, 2))
+		b.Fate(0, 5, 6)
+	}
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("pair stream perturbed by unrelated traffic at %d: %+v vs %+v", i, fa[i], fb[i])
+		}
+	}
+}
+
+func TestRatesApproximateConfig(t *testing.T) {
+	cfg := Config{Seed: 3, Drop: 0.25, Dup: 0.10, Delay: 0.40, DialFail: 0.05}
+	p, _ := replay(cfg, 20000)
+	c := p.Counts()
+	check := func(name string, got int64, want float64) {
+		frac := float64(got) / float64(c.Messages)
+		if math.Abs(frac-want) > 0.02 {
+			t.Errorf("%s rate = %.3f, want ~%.2f", name, frac, want)
+		}
+	}
+	// Drop/delay/dup rates are measured among non-failed sends.
+	nonFailed := c.Messages - c.DialFails
+	_ = nonFailed
+	check("dial-fail", c.DialFails, 0.05)
+	check("drop", c.Drops, 0.25*0.95)
+	check("delay", c.Delays, 0.40*0.95)
+	check("dup", c.Dups, 0.10*0.95)
+}
+
+func TestDelayWithinBounds(t *testing.T) {
+	cfg := Config{Seed: 9, Delay: 1.0, DelayMin: 50 * time.Millisecond, DelayMax: 300 * time.Millisecond}
+	p := New(cfg, nil)
+	for i := 0; i < 1000; i++ {
+		f := p.Fate(0, 0, 1)
+		if f.Delay < cfg.DelayMin || f.Delay > cfg.DelayMax {
+			t.Fatalf("delay %v outside [%v, %v]", f.Delay, cfg.DelayMin, cfg.DelayMax)
+		}
+	}
+}
+
+func TestPartitionSplitAndHeal(t *testing.T) {
+	p := New(Config{Seed: 1, Partitions: []Partition{{
+		Name: "cut", At: 10 * time.Second, Heal: 20 * time.Second,
+		Side: SplitHalves(10),
+	}}}, nil)
+
+	// Before the split: clean.
+	if f := p.Fate(5*time.Second, 0, 9); f.Partitioned {
+		t.Fatal("partitioned before At")
+	}
+	// During: cross-side blocked, same-side clean.
+	if fate := p.Fate(15*time.Second, 0, 9); !fate.Partitioned || !fate.Failed() {
+		t.Fatalf("cross-side send not blocked during partition: %+v", fate)
+	}
+	if fate := p.Fate(15*time.Second, 0, 4); fate.Partitioned {
+		t.Fatal("same-side send blocked")
+	}
+	if fate := p.Fate(15*time.Second, 5, 9); fate.Partitioned {
+		t.Fatal("same-side (upper) send blocked")
+	}
+	// After heal: clean again.
+	if fate := p.Fate(25*time.Second, 0, 9); fate.Partitioned {
+		t.Fatal("partitioned after heal")
+	}
+}
+
+func TestPermanentPartition(t *testing.T) {
+	p := New(Config{Partitions: []Partition{{
+		Name: "forever", At: time.Second, Heal: 0, Side: SplitHalves(4),
+	}}}, nil)
+	if fate := p.Fate(time.Hour, 0, 3); !fate.Partitioned {
+		t.Fatal("Heal <= At should mean the partition never heals")
+	}
+}
+
+func TestMetricsWired(t *testing.T) {
+	reg := metrics.NewRegistry()
+	p := New(Config{Seed: 5, Drop: 1.0}, reg)
+	p.Fate(0, 0, 1)
+	if got := reg.Snapshot().Get("faultnet_drops_total"); got != 1 {
+		t.Fatalf("faultnet_drops_total = %d, want 1", got)
+	}
+}
+
+func TestDialerInjectsFaults(t *testing.T) {
+	clock := func() time.Duration { return 0 }
+	base := func(_ directory.PeerID, _ string, _ time.Duration) (net.Conn, error) {
+		t.Fatal("base dialer must not be reached for injected failures")
+		return nil, nil
+	}
+	// Dial failures surface ErrInjected without touching the network.
+	p := New(Config{Seed: 1, DialFail: 1.0}, nil)
+	if _, err := p.Dialer(0, clock, base)(1, "x", time.Second); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	// Partition blocks likewise.
+	p = New(Config{Partitions: []Partition{{At: 0, Heal: 0, Side: SplitHalves(2)}}}, nil)
+	if _, err := p.Dialer(0, clock, base)(1, "x", time.Second); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	// Drop yields a working blackhole: writes succeed, reads fail.
+	p = New(Config{Seed: 1, Drop: 1.0}, nil)
+	conn, err := p.Dialer(0, clock, base)(1, "x", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := conn.Write([]byte("hello")); n != 5 || err != nil {
+		t.Fatalf("blackhole write = %d, %v", n, err)
+	}
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("blackhole read should fail")
+	}
+	conn.Close()
+}
+
+func TestCleanPlanPassesThrough(t *testing.T) {
+	p := New(Config{Seed: 1}, nil)
+	for i := 0; i < 100; i++ {
+		if fate := p.Fate(0, 0, 1); fate != (Fate{}) {
+			t.Fatalf("clean plan injected a fault: %+v", fate)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package golomb
+
+import (
+	"testing"
+)
+
+// FuzzDecodeGaps feeds arbitrary bytes, parameters, and counts to the
+// gap decoder: it must return positions or ErrCorrupt, never panic, hang,
+// or allocate proportionally to a hostile count.
+func FuzzDecodeGaps(f *testing.F) {
+	good, _ := EncodeGaps([]uint64{3, 17, 64, 65, 4000}, 23)
+	f.Add(good, uint64(23), 5)
+	f.Add([]byte{}, uint64(1), 0)
+	f.Add([]byte{0xff, 0xff, 0xff}, uint64(1), 3)
+	f.Add([]byte{0x00}, uint64(1<<62), 1)
+	f.Add([]byte{0x80}, uint64(2), 1<<30)
+	f.Fuzz(func(t *testing.T, buf []byte, m uint64, count int) {
+		if m == 0 {
+			m = 1 // m >= 1 is the documented caller contract
+		}
+		positions, err := DecodeGaps(buf, m, count)
+		if err != nil {
+			return
+		}
+		if len(positions) != count {
+			t.Fatalf("decoded %d positions, want %d", len(positions), count)
+		}
+		for i := 1; i < len(positions); i++ {
+			if positions[i] <= positions[i-1] {
+				t.Fatalf("positions not strictly increasing: %d then %d",
+					positions[i-1], positions[i])
+			}
+		}
+	})
+}
+
+// FuzzGapsRoundTrip derives a strictly increasing position set from the
+// fuzz input and demands encode→decode identity for any parameter.
+func FuzzGapsRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, uint64(7))
+	f.Add([]byte{0, 0, 0, 255}, uint64(1))
+	f.Add([]byte("gossip"), uint64(64))
+	f.Fuzz(func(t *testing.T, gaps []byte, m uint64) {
+		if m == 0 {
+			m = 1
+		}
+		if m > 1<<32 {
+			m = 1 << 32
+		}
+		positions := make([]uint64, 0, len(gaps))
+		pos := uint64(0)
+		for _, g := range gaps {
+			pos += uint64(g) + 1
+			positions = append(positions, pos)
+		}
+		enc, err := EncodeGaps(positions, m)
+		if err != nil {
+			t.Fatalf("encode strictly increasing positions: %v", err)
+		}
+		dec, err := DecodeGaps(enc, m, len(positions))
+		if err != nil {
+			t.Fatalf("decode own encoding: %v", err)
+		}
+		if len(dec) != len(positions) {
+			t.Fatalf("round trip length %d != %d", len(dec), len(positions))
+		}
+		for i := range dec {
+			if dec[i] != positions[i] {
+				t.Fatalf("round trip mismatch at %d: %d != %d", i, dec[i], positions[i])
+			}
+		}
+	})
+}

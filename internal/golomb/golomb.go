@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // ErrCorrupt is returned when a decoder runs off the end of its input or
@@ -142,11 +143,10 @@ func NewEncoder(m uint64) *Encoder {
 
 // bitsFor returns ceil(log2(m)) with bitsFor(1) == 0.
 func bitsFor(m uint64) int {
-	n := 0
-	for (uint64(1) << uint(n)) < m {
-		n++
+	if m <= 1 {
+		return 0
 	}
-	return n
+	return bits.Len64(m - 1)
 }
 
 // Put encodes one value.
@@ -214,6 +214,11 @@ func (d *Decoder) Get() (uint64, error) {
 		}
 		r = r<<1 | uint64(bit) - d.t
 	}
+	// q*m + r overflowing uint64 cannot come from our encoder; fail
+	// instead of returning a wrapped value.
+	if q > (math.MaxUint64-r)/d.m {
+		return 0, ErrCorrupt
+	}
 	return q*d.m + r, nil
 }
 
@@ -252,19 +257,39 @@ func EncodeGaps(positions []uint64, m uint64) ([]byte, error) {
 	return e.Bytes(), nil
 }
 
-// DecodeGaps reverses EncodeGaps, returning count positions.
+// DecodeGaps reverses EncodeGaps, returning count positions. count is
+// validated against the input length before any allocation, so a hostile
+// count cannot force a huge buffer.
 func DecodeGaps(buf []byte, m uint64, count int) ([]uint64, error) {
+	if count < 0 {
+		return nil, ErrCorrupt
+	}
+	// Every encoded value costs at least one bit (its unary terminator),
+	// so more values than input bits is corrupt by construction.
+	if uint64(count) > uint64(len(buf))*8 {
+		return nil, ErrCorrupt
+	}
 	d := NewDecoder(buf, m)
 	out := make([]uint64, 0, count)
-	prev := int64(-1)
+	next := uint64(0) // smallest position the next value may take
+	overflowed := false
 	for i := 0; i < count; i++ {
 		gap, err := d.Get()
 		if err != nil {
 			return nil, err
 		}
-		p := uint64(prev+1) + gap
+		// Positions must stay strictly increasing in uint64; any
+		// wraparound means the input is corrupt.
+		if overflowed {
+			return nil, ErrCorrupt
+		}
+		p := next + gap
+		if p < next {
+			return nil, ErrCorrupt
+		}
 		out = append(out, p)
-		prev = int64(p)
+		next = p + 1
+		overflowed = next == 0
 	}
 	return out, nil
 }

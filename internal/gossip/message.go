@@ -209,6 +209,18 @@ type Config struct {
 	PiggybackCount int
 	// TDead drops peers continuously off-line this long (0 = never).
 	TDead time.Duration
+	// SuspicionThreshold is how many consecutive failed sends to a peer
+	// are needed before it is marked off-line (default 2, so one
+	// transient dial failure is forgiven). -1 restores the original
+	// one-strike behavior. Any success, or hearing from the peer, resets
+	// its streak.
+	SuspicionThreshold int
+	// ProbeEvery makes every ProbeEvery-th round additionally probe one
+	// random peer currently believed off-line with an anti-entropy
+	// request (default 8; -1 disables). A live peer answers, flipping
+	// the local opinion back on-line — the recovery path for suspected
+	// peers and healed partitions.
+	ProbeEvery int
 	// MaxPullBatch caps how many records one anti-entropy pull requests
 	// (0 = unlimited). Bandwidth-limited peers set this to acquire a
 	// large directory in pieces across successive exchanges instead of
@@ -258,6 +270,12 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.PiggybackCount == 0 {
 		c.PiggybackCount = 10
+	}
+	if c.SuspicionThreshold == 0 {
+		c.SuspicionThreshold = 2
+	}
+	if c.ProbeEvery == 0 {
+		c.ProbeEvery = 8
 	}
 	// Negative stays negative: the explicit "disabled" marker (LAN-NPA)
 	// must survive repeated normalization.

@@ -53,6 +53,8 @@ type Stats struct {
 	NewsLearned  int // records accepted as fresh
 	Retired      int
 	FailedSends  int
+	ProbesSent   int // recovery probes to suspected-off-line peers
+	Suspected    int // peers marked off-line after reaching the threshold
 	Gossipless   int // identical-directory contacts observed
 	IntervalUps  int // adaptive slow-downs applied
 	IntervalDrop int // resets to base interval
@@ -72,6 +74,8 @@ type nodeMetrics struct {
 	newsLearned *metrics.Counter
 	retired     *metrics.Counter
 	failedSends *metrics.Counter
+	probesSent  *metrics.Counter
+	suspected   *metrics.Counter
 	gossipless  *metrics.Counter
 	diffBytes   *metrics.Counter
 }
@@ -88,6 +92,8 @@ func newNodeMetrics(r *metrics.Registry) nodeMetrics {
 		newsLearned: r.Counter("gossip_news_learned_total"),
 		retired:     r.Counter("gossip_rumors_retired_total"),
 		failedSends: r.Counter("gossip_failed_sends_total"),
+		probesSent:  r.Counter("gossip_probes_sent_total"),
+		suspected:   r.Counter("gossip_peers_suspected_total"),
 		gossipless:  r.Counter("gossip_gossipless_contacts_total"),
 		diffBytes:   r.Counter("gossip_diff_bytes_sent_total"),
 	}
@@ -121,6 +127,12 @@ type Node struct {
 	// slow peer sources its first push to a fast peer (Section 7.2).
 	localFresh bool
 
+	// sendFails counts consecutive failed sends per peer; reaching
+	// Config.SuspicionThreshold marks the peer off-line. Any successful
+	// send to — or message from — the peer clears its streak, so a
+	// single transient dial failure no longer exiles a live peer.
+	sendFails map[directory.PeerID]int
+
 	stats Stats
 	m     nodeMetrics
 }
@@ -134,13 +146,14 @@ func NewNode(self directory.Record, dir *directory.Directory, cfg Config, env En
 		self.Ver = directory.Version{Epoch: 1, Seq: 0}
 	}
 	n := &Node{
-		id:       self.ID,
-		dir:      dir,
-		cfg:      cfg,
-		env:      env,
-		self:     self,
-		active:   make(map[directory.PeerID]*rumorState),
-		interval: cfg.BaseInterval,
+		id:        self.ID,
+		dir:       dir,
+		cfg:       cfg,
+		env:       env,
+		self:      self,
+		active:    make(map[directory.PeerID]*rumorState),
+		sendFails: make(map[directory.PeerID]int),
+		interval:  cfg.BaseInterval,
 		// A joining member's first round is anti-entropy: it downloads
 		// the directory from its bootstrap contact before spreading its
 		// own announcement (Section 7.2's join model), which also
@@ -369,10 +382,17 @@ func (n *Node) Tick() {
 		(n.cfg.AEEvery > 0 && n.rounds%n.cfg.AEEvery == 0)
 	target, ok := n.chooseTarget(doAE)
 	if !ok {
+		// No reachable target — possibly everyone is suspected off-line
+		// (a partition in force). Probing is the only way back.
+		probe := n.cfg.ProbeEvery > 0 && n.rounds%n.cfg.ProbeEvery == 0
 		n.mu.Unlock()
+		if probe {
+			n.probeOffline()
+		}
 		return
 	}
 	var msg *Message
+	clearFresh := false
 	if n.cfg.Mode == ModeAEOnly {
 		// Push anti-entropy baseline: ship our summary unsolicited.
 		msg = &Message{
@@ -398,22 +418,46 @@ func (n *Node) Tick() {
 		n.m.diffBytes.Add(diffBytes)
 		// The source of a rumor keeps aiming its initial push at a fast
 		// peer until one is actually reached (Section 7.2); without
-		// bandwidth awareness any push satisfies it.
+		// bandwidth awareness any push satisfies it. The flag clears
+		// only after the push verifiably left (failed sends re-enqueue:
+		// the rumors stay active and the source keeps sourcing).
 		if !n.cfg.BandwidthAware {
-			n.localFresh = false
+			clearFresh = true
 		} else if e, ok := n.dir.Entry(target); ok && e.Class == directory.Fast {
-			n.localFresh = false
+			clearFresh = true
 		}
 	}
+	probe := n.cfg.ProbeEvery > 0 && n.rounds%n.cfg.ProbeEvery == 0
 	n.mu.Unlock()
 
-	if err := n.env.Send(target, msg); err != nil {
+	if n.sendOrSuspect(target, msg) && clearFresh {
 		n.mu.Lock()
-		n.stats.FailedSends++
+		n.localFresh = false
 		n.mu.Unlock()
-		n.m.failedSends.Inc()
-		n.dir.MarkOffline(target, n.env.Now())
 	}
+	if probe {
+		n.probeOffline()
+	}
+}
+
+// probeOffline attempts to recontact one peer currently believed
+// off-line. Failed-contact state is only a local opinion (Section 3); a
+// live peer answers the anti-entropy request, and either direction of
+// that exchange flips the opinion back. This is what re-merges a healed
+// partition: both sides marked each other off-line while it stood, so
+// without probing no one would ever pick a cross-partition target again.
+func (n *Node) probeOffline() {
+	target, ok := n.dir.PickOffline(n.env.Rand())
+	if !ok {
+		return
+	}
+	n.mu.Lock()
+	n.stats.ProbesSent++
+	n.mu.Unlock()
+	n.m.probesSent.Inc()
+	// A failed probe carries no new suspicion — the peer is already
+	// off-line — so this bypasses sendOrSuspect.
+	_ = n.env.Send(target, &Message{Type: MsgAERequest, From: n.id, Digest: n.dir.Digest()})
 }
 
 // activeUpdatesLocked snapshots the active rumors as records, in sorted
@@ -465,8 +509,10 @@ func (n *Node) applyRecord(rec directory.Record, viaRumor bool) bool {
 // Receive processes an incoming message. reply messages are sent through
 // the Env.
 func (n *Node) Receive(from directory.PeerID, m *Message) {
-	// Hearing from a peer directly proves it is on-line.
+	// Hearing from a peer directly proves it is on-line — and absolves
+	// any failure streak it had accumulated.
 	n.dir.MarkOnline(from)
+	n.noteSendSuccess(from)
 	switch m.Type {
 	case MsgRumor:
 		n.receiveRumor(from, m)
@@ -505,7 +551,7 @@ func (n *Node) receiveRumor(from directory.PeerID, m *Message) {
 	n.stats.AcksSent++
 	n.m.acksSent.Inc()
 	n.mu.Unlock()
-	n.sendOrMarkOffline(from, ack)
+	n.sendOrSuspect(from, ack)
 }
 
 func (n *Node) receiveAck(from directory.PeerID, m *Message) {
@@ -549,8 +595,13 @@ func (n *Node) receiveAck(from directory.PeerID, m *Message) {
 			n.m.pullsSent.Inc()
 		}
 		n.mu.Unlock()
-		if ok {
-			n.sendOrMarkOffline(from, &Message{Type: MsgPull, From: n.id, Need: need})
+		if ok && !n.sendOrSuspect(from, &Message{Type: MsgPull, From: n.id, Need: need}) {
+			// The pull never left; release the gate so the next
+			// opportunity can re-issue it instead of waiting out the
+			// in-flight timeout.
+			n.mu.Lock()
+			n.pullInFlight = false
+			n.mu.Unlock()
 		}
 	}
 }
@@ -577,7 +628,7 @@ func (n *Node) receivePull(from directory.PeerID, m *Message) {
 	n.stats.RecordsSent += len(ups)
 	n.mu.Unlock()
 	n.m.recordsSent.Add(int64(len(ups)))
-	n.sendOrMarkOffline(from, &Message{Type: MsgRecords, From: n.id, Updates: ups, AsDiff: asDiff})
+	n.sendOrSuspect(from, &Message{Type: MsgRecords, From: n.id, Updates: ups, AsDiff: asDiff})
 }
 
 func (n *Node) receiveAERequest(from directory.PeerID, m *Message) {
@@ -595,7 +646,7 @@ func (n *Node) receiveAERequest(from directory.PeerID, m *Message) {
 	n.stats.AESummaries++
 	n.mu.Unlock()
 	n.m.aeSummaries.Inc()
-	n.sendOrMarkOffline(from, reply)
+	n.sendOrSuspect(from, reply)
 }
 
 func (n *Node) receiveAESummary(from directory.PeerID, m *Message) {
@@ -627,19 +678,54 @@ func (n *Node) receiveAESummary(from directory.PeerID, m *Message) {
 		n.m.pullsSent.Inc()
 	}
 	n.mu.Unlock()
-	if ok {
-		n.sendOrMarkOffline(from, &Message{Type: MsgPull, From: n.id, Need: need})
+	if ok && !n.sendOrSuspect(from, &Message{Type: MsgPull, From: n.id, Need: need}) {
+		n.mu.Lock()
+		n.pullInFlight = false
+		n.mu.Unlock()
 	}
 }
 
-// sendOrMarkOffline sends m, recording the local off-line opinion on
-// failure.
-func (n *Node) sendOrMarkOffline(to directory.PeerID, m *Message) {
+// sendOrSuspect sends m, reporting success. A failure increments the
+// target's consecutive-failure streak; only at SuspicionThreshold is the
+// peer marked off-line (replacing the original one-strike behavior, which
+// exiled live peers on a single transient dial failure).
+func (n *Node) sendOrSuspect(to directory.PeerID, m *Message) bool {
 	if err := n.env.Send(to, m); err != nil {
-		n.mu.Lock()
-		n.stats.FailedSends++
-		n.mu.Unlock()
-		n.m.failedSends.Inc()
+		n.noteSendFailure(to)
+		return false
+	}
+	n.noteSendSuccess(to)
+	return true
+}
+
+// noteSendFailure advances to's failure streak and applies the suspicion
+// verdict when the threshold is reached.
+func (n *Node) noteSendFailure(to directory.PeerID) {
+	thr := n.cfg.SuspicionThreshold
+	if thr < 1 {
+		thr = 1
+	}
+	n.mu.Lock()
+	n.stats.FailedSends++
+	n.sendFails[to]++
+	mark := n.sendFails[to] >= thr
+	if mark {
+		delete(n.sendFails, to)
+		n.stats.Suspected++
+	}
+	n.mu.Unlock()
+	n.m.failedSends.Inc()
+	if mark {
+		n.m.suspected.Inc()
 		n.dir.MarkOffline(to, n.env.Now())
 	}
+}
+
+// noteSendSuccess clears to's failure streak.
+func (n *Node) noteSendSuccess(to directory.PeerID) {
+	n.mu.Lock()
+	if len(n.sendFails) > 0 {
+		delete(n.sendFails, to)
+	}
+	n.mu.Unlock()
 }

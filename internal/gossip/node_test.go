@@ -15,10 +15,13 @@ import (
 type fakeNet struct {
 	nodes   map[directory.PeerID]*Node
 	offline map[directory.PeerID]bool
-	now     time.Duration
-	rng     *rand.Rand
-	sent    []sentMsg
-	drop    func(to directory.PeerID, m *Message) bool
+	// failNext fails the next n sends to a peer (transient faults),
+	// decrementing per attempt.
+	failNext map[directory.PeerID]int
+	now      time.Duration
+	rng      *rand.Rand
+	sent     []sentMsg
+	drop     func(to directory.PeerID, m *Message) bool
 }
 
 type sentMsg struct {
@@ -28,9 +31,10 @@ type sentMsg struct {
 
 func newFakeNet(seed int64) *fakeNet {
 	return &fakeNet{
-		nodes:   make(map[directory.PeerID]*Node),
-		offline: make(map[directory.PeerID]bool),
-		rng:     rand.New(rand.NewSource(seed)),
+		nodes:    make(map[directory.PeerID]*Node),
+		offline:  make(map[directory.PeerID]bool),
+		failNext: make(map[directory.PeerID]int),
+		rng:      rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -47,6 +51,10 @@ func (e *fakeEnv) IntervalChanged(time.Duration) {}
 func (e *fakeEnv) Send(to directory.PeerID, m *Message) error {
 	if e.net.offline[to] {
 		return errors.New("offline")
+	}
+	if e.net.failNext[to] > 0 {
+		e.net.failNext[to]--
+		return errors.New("transient failure")
 	}
 	if e.net.drop != nil && e.net.drop(to, m) {
 		return nil // silently dropped (lost in transit)
@@ -258,13 +266,24 @@ func TestOfflineDetectionOnSendFailure(t *testing.T) {
 	f.connect()
 	f.offline[1] = true
 	a.Publish(10, 100, nil)
+	// With the default suspicion threshold (2), the first failure only
+	// opens a streak; the peer stays on-line.
 	a.Tick()
 	e, ok := a.Directory().Entry(1)
-	if !ok || e.Online {
-		t.Fatalf("failed send should mark peer offline: %+v", e)
+	if !ok || !e.Online {
+		t.Fatalf("one failed send must not mark peer offline: %+v", e)
 	}
-	if a.Stats().FailedSends != 1 {
+	// The second consecutive failure crosses the threshold.
+	a.Tick()
+	e, _ = a.Directory().Entry(1)
+	if e.Online {
+		t.Fatalf("two failed sends should mark peer offline: %+v", e)
+	}
+	if a.Stats().FailedSends != 2 {
 		t.Fatalf("FailedSends = %d", a.Stats().FailedSends)
+	}
+	if a.Stats().Suspected != 1 {
+		t.Fatalf("Suspected = %d", a.Stats().Suspected)
 	}
 	// Hearing from the peer again flips it back.
 	f.offline[1] = false
@@ -272,6 +291,133 @@ func TestOfflineDetectionOnSendFailure(t *testing.T) {
 	e, _ = a.Directory().Entry(1)
 	if !e.Online {
 		t.Fatal("receive should mark peer online")
+	}
+}
+
+func TestOneStrikeModeRestoresOldBehavior(t *testing.T) {
+	f := newFakeNet(8)
+	a := f.addNode(0, 4, Config{SuspicionThreshold: -1})
+	f.addNode(1, 4, Config{SuspicionThreshold: -1})
+	f.connect()
+	f.offline[1] = true
+	a.Publish(10, 100, nil)
+	a.Tick()
+	if e, _ := a.Directory().Entry(1); e.Online {
+		t.Fatalf("SuspicionThreshold -1 should mark offline on first failure: %+v", e)
+	}
+}
+
+// Regression for the one-strike flakiness the suspicion state machine
+// replaces: a live peer that suffers a single transient dial failure must
+// not be marked off-line, and must still receive the rumor when the next
+// round retries it.
+func TestTransientFailureSurvivedAndRumorRetried(t *testing.T) {
+	f := newFakeNet(11)
+	a := f.addNode(0, 4, Config{})
+	b := f.addNode(1, 4, Config{})
+	f.connect()
+
+	rec := a.Publish(10, 100, nil)
+	f.failNext[1] = 1 // exactly one transient failure
+	a.Tick()
+	if e, _ := a.Directory().Entry(1); !e.Online {
+		t.Fatal("peer exiled after one transient failure")
+	}
+	if got := b.Directory().VersionOf(0); !got.Less(rec.Ver) {
+		t.Fatalf("rumor should not have arrived yet (got %v)", got)
+	}
+	if a.ActiveRumors() == 0 {
+		t.Fatal("failed push must leave the rumor enqueued")
+	}
+	// Next round retries and delivers.
+	a.Tick()
+	if got := b.Directory().VersionOf(0); got != rec.Ver {
+		t.Fatalf("rumor not delivered after retry: have %v, want %v", got, rec.Ver)
+	}
+	if e, _ := a.Directory().Entry(1); !e.Online {
+		t.Fatal("peer should remain online after successful retry")
+	}
+}
+
+func TestSuccessResetsSuspicionStreak(t *testing.T) {
+	f := newFakeNet(12)
+	a := f.addNode(0, 4, Config{})
+	f.addNode(1, 4, Config{})
+	f.connect()
+	a.Publish(10, 100, nil)
+	// fail, succeed, fail: never two consecutive failures.
+	f.failNext[1] = 1
+	a.Tick()
+	a.Tick()
+	f.failNext[1] = 1
+	a.Tick()
+	if e, _ := a.Directory().Entry(1); !e.Online {
+		t.Fatal("non-consecutive failures must not mark peer offline")
+	}
+	if a.Stats().FailedSends != 2 {
+		t.Fatalf("FailedSends = %d, want 2", a.Stats().FailedSends)
+	}
+}
+
+// A failed pull send must release the pull-in-flight gate so the next
+// opportunity can re-issue it, instead of silently dropping the pull and
+// stalling partial anti-entropy for 20 base intervals.
+func TestFailedPullReleasesInFlightGate(t *testing.T) {
+	f := newFakeNet(13)
+	a := f.addNode(0, 8, Config{})
+	b := f.addNode(1, 8, Config{})
+	c := f.addNode(2, 8, Config{})
+	f.connect()
+
+	// b learns a new version of c that a lacks.
+	rec := c.Publish(10, 100, nil)
+	b.Directory().Upsert(rec)
+
+	// a hears b's summary, tries to pull, but the send fails.
+	f.failNext[1] = 1
+	a.Receive(1, &Message{Type: MsgAESummary, From: 1, Digest: b.Directory().Digest(), Summary: b.Directory().Summary(), NumKnown: b.Directory().NumKnown()})
+	if got := a.Stats().PullsSent; got != 1 {
+		t.Fatalf("PullsSent = %d, want 1", got)
+	}
+	if a.Directory().VersionOf(2) == rec.Ver {
+		t.Fatal("pull should have failed")
+	}
+	// A second summary must be able to pull immediately (gate released).
+	a.Receive(1, &Message{Type: MsgAESummary, From: 1, Digest: b.Directory().Digest(), Summary: b.Directory().Summary(), NumKnown: b.Directory().NumKnown()})
+	if got := a.Stats().PullsSent; got != 2 {
+		t.Fatalf("PullsSent = %d, want 2 (gate not released)", got)
+	}
+	if got := a.Directory().VersionOf(2); got != rec.Ver {
+		t.Fatalf("record not pulled after retry: %v", got)
+	}
+}
+
+// Probing recovers peers wrongly believed off-line: after the suspicion
+// threshold exiles an unreachable peer, a later probe round re-contacts
+// it and the answer flips it back on-line.
+func TestProbeRecoversOfflinePeer(t *testing.T) {
+	f := newFakeNet(14)
+	a := f.addNode(0, 4, Config{ProbeEvery: 4})
+	f.addNode(1, 4, Config{ProbeEvery: 4})
+	f.connect()
+
+	a.Publish(10, 100, nil)
+	f.offline[1] = true
+	a.Tick()
+	a.Tick()
+	if e, _ := a.Directory().Entry(1); e.Online {
+		t.Fatal("setup: peer should be suspected offline")
+	}
+	// Peer comes back. Ticks continue; every 4th round probes it.
+	f.offline[1] = false
+	for i := 0; i < 8; i++ {
+		a.Tick()
+	}
+	if e, _ := a.Directory().Entry(1); !e.Online {
+		t.Fatal("probe should have rediscovered the live peer")
+	}
+	if a.Stats().ProbesSent == 0 {
+		t.Fatal("no probes were sent")
 	}
 }
 
@@ -329,7 +475,7 @@ func TestSelfRecordImmuneToGossip(t *testing.T) {
 
 func TestTDeadDropsLongOfflinePeers(t *testing.T) {
 	f := newFakeNet(12)
-	cfg := Config{TDead: time.Hour}
+	cfg := Config{TDead: time.Hour, SuspicionThreshold: -1}
 	a := f.addNode(0, 8, cfg)
 	f.addNode(1, 8, cfg)
 	f.connect()

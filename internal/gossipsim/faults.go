@@ -1,0 +1,100 @@
+package gossipsim
+
+import (
+	"time"
+
+	"planetp/internal/faultnet"
+	"planetp/internal/simnet"
+)
+
+// FaultSpec parameterizes a convergence-under-faults run: which faults
+// the injected update must propagate through.
+type FaultSpec struct {
+	// Drop, Dup, Delay are per-message fault probabilities (see
+	// faultnet.Config).
+	Drop, Dup, Delay float64
+	// DelayMin and DelayMax bound injected extra latency (defaults
+	// 100 ms .. 2 s).
+	DelayMin, DelayMax time.Duration
+	// Partition, when set, splits the community into two halves from
+	// PartitionAt to HealAt (both relative to the update's publish
+	// time). HealAt <= PartitionAt never heals within the run.
+	Partition           bool
+	PartitionAt, HealAt time.Duration
+	// Seed determines the fault schedule (independent of the sim seed).
+	Seed int64
+}
+
+// FaultResult is the outcome of one convergence-under-faults run.
+type FaultResult struct {
+	// Converged reports whether every peer learned the update within
+	// the horizon.
+	Converged bool
+	// Time is time-to-convergence (meaningful when Converged).
+	Time time.Duration
+	// ScheduleHash fingerprints the exact fault schedule that was
+	// injected; equal hashes across runs mean byte-identical faults.
+	ScheduleHash uint64
+	// Digests holds every peer's final directory digest, indexed by
+	// peer id; DigestsEqual reports they all match (identical replicas).
+	Digests      []uint64
+	DigestsEqual bool
+	// Faults are the injected-fault totals.
+	Faults faultnet.Counts
+}
+
+// ConvergenceUnderFaults runs the fault-tolerance experiment: a converged
+// community of n peers, one peer publishes a 1000-key update, and the
+// update must reach every replica through the spec's faults. Both seeds
+// fully determine the run, so equal (sc, n, spec, seed) inputs reproduce
+// byte-identical fault schedules and convergence times.
+func ConvergenceUnderFaults(sc Scenario, n int, spec FaultSpec, seed int64) FaultResult {
+	s := sc.newSim(n, n, seed)
+	// Let timers take their random phases before injecting anything.
+	s.Run(2 * time.Second)
+
+	var parts []faultnet.Partition
+	if spec.Partition {
+		parts = append(parts, faultnet.Partition{
+			Name: "halves",
+			At:   s.Now() + spec.PartitionAt,
+			Heal: s.Now() + spec.HealAt,
+			Side: faultnet.SplitHalves(n),
+		})
+	}
+	plan := faultnet.New(faultnet.Config{
+		Seed: spec.Seed, Drop: spec.Drop, Dup: spec.Dup, Delay: spec.Delay,
+		DelayMin: spec.DelayMin, DelayMax: spec.DelayMax,
+		Partitions: parts,
+	}, sc.Metrics)
+	s.SetFaults(plan)
+
+	tr := newTracker(s)
+	src := s.Peers()[0]
+	src.Node.Publish(Diff1000Keys, Full20000Keys+Diff1000Keys, nil)
+	start := s.Now()
+	tr.Watch(src.ID, src.Node.SelfRecord().Ver, "update", simnet.Class(src.Speed), nil)
+
+	horizon := start + 6*time.Hour
+	converged := s.RunUntil(horizon, func() bool { return tr.Outstanding() == 0 })
+	tr.AbandonOutstanding()
+
+	res := FaultResult{
+		Converged:    converged,
+		Time:         -1,
+		ScheduleHash: plan.ScheduleHash(),
+		Faults:       plan.Counts(),
+		DigestsEqual: true,
+	}
+	if converged {
+		res.Time = s.Now() - start
+	}
+	res.Digests = make([]uint64, n)
+	for i, p := range s.Peers() {
+		res.Digests[i] = p.Node.Directory().Digest()
+		if res.Digests[i] != res.Digests[0] {
+			res.DigestsEqual = false
+		}
+	}
+	return res
+}

@@ -1,0 +1,105 @@
+package gossipsim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestConvergenceUnderFaults is the fault-tolerance suite: an update
+// must reach every replica — and leave all directories identical —
+// through message loss, duplication, reordering delays, and a partition
+// that heals. Every case is fully seeded and deterministic.
+func TestConvergenceUnderFaults(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		spec FaultSpec
+	}{
+		{"drop-10pct", 20, FaultSpec{Drop: 0.10, Seed: 101}},
+		{"drop-25pct", 20, FaultSpec{Drop: 0.25, Seed: 102}},
+		{"drop-40pct", 20, FaultSpec{Drop: 0.40, Seed: 103}},
+		{"dup-and-reorder", 20, FaultSpec{Dup: 0.30, Delay: 0.30, Seed: 104}},
+		{"partition-heals", 16, FaultSpec{
+			Partition: true, PartitionAt: 0, HealAt: 10 * time.Minute, Seed: 105,
+		}},
+		{"drop-under-partition", 16, FaultSpec{
+			Drop: 0.15, Partition: true, PartitionAt: 0, HealAt: 10 * time.Minute, Seed: 106,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := ConvergenceUnderFaults(LAN, tc.n, tc.spec, 7)
+			if !res.Converged {
+				t.Fatalf("did not converge; faults = %+v", res.Faults)
+			}
+			if !res.DigestsEqual {
+				t.Fatalf("directories diverged: %v", res.Digests)
+			}
+			if tc.spec.Drop > 0 && res.Faults.Drops == 0 {
+				t.Fatal("no drops injected despite Drop > 0")
+			}
+			if tc.spec.Dup > 0 && res.Faults.Dups == 0 {
+				t.Fatal("no dups injected despite Dup > 0")
+			}
+			if tc.spec.Partition && res.Faults.PartitionBlocks == 0 {
+				t.Fatal("no sends blocked despite a partition")
+			}
+			if tc.spec.Partition && res.Time >= 0 && res.Time < tc.spec.HealAt {
+				t.Fatalf("converged at %v, before the partition healed at %v",
+					res.Time, tc.spec.HealAt)
+			}
+		})
+	}
+}
+
+// TestPermanentPartitionPreventsConvergence is the negative control: with
+// a partition that never heals, the update must not cross the cut.
+func TestPermanentPartitionPreventsConvergence(t *testing.T) {
+	res := ConvergenceUnderFaults(LAN, 16, FaultSpec{
+		Partition: true, PartitionAt: 0, HealAt: 0, Seed: 9,
+	}, 7)
+	if res.Converged {
+		t.Fatal("converged across a permanent partition")
+	}
+	if res.DigestsEqual {
+		t.Fatal("digests equal across a permanent partition")
+	}
+}
+
+// TestFaultScheduleDeterministic runs the same faulty experiment twice
+// and demands byte-identical fault schedules and identical outcomes.
+func TestFaultScheduleDeterministic(t *testing.T) {
+	spec := FaultSpec{Drop: 0.25, Dup: 0.10, Delay: 0.20, Seed: 55}
+	a := ConvergenceUnderFaults(LAN, 20, spec, 11)
+	b := ConvergenceUnderFaults(LAN, 20, spec, 11)
+	if a.ScheduleHash != b.ScheduleHash {
+		t.Fatalf("schedule hashes differ: %x vs %x", a.ScheduleHash, b.ScheduleHash)
+	}
+	if a.Time != b.Time || a.Converged != b.Converged {
+		t.Fatalf("outcomes differ: %+v vs %+v", a, b)
+	}
+	if a.Faults != b.Faults {
+		t.Fatalf("fault counts differ: %+v vs %+v", a.Faults, b.Faults)
+	}
+	// A different fault seed must yield a different schedule.
+	spec.Seed = 56
+	c := ConvergenceUnderFaults(LAN, 20, spec, 11)
+	if c.ScheduleHash == a.ScheduleHash {
+		t.Fatal("different fault seeds produced identical schedules")
+	}
+}
+
+// TestFiftyPeerQuarterDropConverges is the acceptance run: 50 peers,
+// 25% message loss, fixed seeds — every replica must end identical.
+func TestFiftyPeerQuarterDropConverges(t *testing.T) {
+	res := ConvergenceUnderFaults(LAN, 50, FaultSpec{Drop: 0.25, Seed: 42}, 7)
+	if !res.Converged {
+		t.Fatalf("50-peer 25%%-drop run did not converge; faults = %+v", res.Faults)
+	}
+	if !res.DigestsEqual {
+		t.Fatalf("directories diverged: %v", res.Digests)
+	}
+	if res.Faults.Drops == 0 {
+		t.Fatal("no drops injected")
+	}
+}

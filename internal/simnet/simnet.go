@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"planetp/internal/directory"
+	"planetp/internal/faultnet"
 	"planetp/internal/gossip"
 	"planetp/internal/metrics"
 )
@@ -143,6 +144,10 @@ type Sim struct {
 
 	m simMetrics
 
+	// faults, when set, injects drops/dups/delays/dial failures and
+	// scripted partitions into every Send (see SetFaults).
+	faults *faultnet.Plan
+
 	// Hooks for experiment harnesses (may be nil).
 	AfterDeliver   func(to *Peer, from directory.PeerID, m *gossip.Message)
 	OnOnlineChange func(p *Peer, online bool)
@@ -188,6 +193,12 @@ func New(capacity int, cfg gossip.Config, params Params, seed int64) *Sim {
 
 // Now returns the current virtual time.
 func (s *Sim) Now() time.Duration { return s.now }
+
+// SetFaults mounts a fault-injection plan: every subsequent Send consults
+// it for drops, duplicates, delays, dial failures, and partitions. The
+// plan's own seed governs the fault schedule, so the same (sim seed,
+// fault seed) pair reproduces a run exactly. Nil unmounts.
+func (s *Sim) SetFaults(plan *faultnet.Plan) { s.faults = plan }
 
 // Peers returns the community (index = PeerID).
 func (s *Sim) Peers() []*Peer { return s.peers }
@@ -434,6 +445,18 @@ func (p *Peer) Send(to directory.PeerID, m *gossip.Message) error {
 		s.m.failedSends.Inc()
 		return errOffline{to}
 	}
+	// Injected faults: partitions and dial failures error at the sender
+	// (exactly like a dead peer); drops, delays, and duplicates are
+	// decided now and applied below.
+	var fate faultnet.Fate
+	if s.faults != nil {
+		fate = s.faults.Fate(s.now, p.ID, to)
+		if fate.Failed() {
+			s.FailedSends++
+			s.m.failedSends.Inc()
+			return errOffline{to}
+		}
+	}
 	size := m.WireSize(s.cfg.Sizes)
 	s.accountBytes(p, size)
 	target.BytesRecv += int64(size)
@@ -452,8 +475,15 @@ func (p *Peer) Send(to directory.PeerID, m *gossip.Message) error {
 	queued := (sendStart - s.now) + (recvStart - arrive)
 	s.m.queueDelayMS.Observe(queued.Milliseconds())
 
+	// An injected drop is a silent loss: the sender transmitted (bytes
+	// and link time are charged) but nothing arrives.
+	if fate.Drop {
+		return nil
+	}
+	deliverAt += fate.Delay
+
 	from := p.ID
-	s.At(deliverAt, func() {
+	deliver := func() {
 		if !target.online {
 			return // went off-line in flight; message lost
 		}
@@ -461,7 +491,11 @@ func (p *Peer) Send(to directory.PeerID, m *gossip.Message) error {
 		if s.AfterDeliver != nil {
 			s.AfterDeliver(target, from, m)
 		}
-	})
+	}
+	s.At(deliverAt, deliver)
+	if fate.Dup {
+		s.At(deliverAt+fate.DupDelay, deliver)
+	}
 	return nil
 }
 

@@ -159,8 +159,13 @@ type Transport struct {
 	handler Handler
 	resolve Resolver
 	start   time.Time
-	rng     *rand.Rand
-	rngMu   sync.Mutex
+	// rng is handed out via Rand() for the gossip node's exclusive,
+	// externally synchronized use; transport internals must not touch it.
+	rng *rand.Rand
+	// retryRng seeds the retry layer's per-peer Backoffs; guarded by
+	// rngMu because sends retry from many goroutines.
+	retryRng *rand.Rand
+	rngMu    sync.Mutex
 
 	// intervalCh wakes the gossip loop when the node's interval
 	// changes.
@@ -182,9 +187,37 @@ type Transport struct {
 	// client that connects and stalls cannot pin a handler goroutine
 	// forever. Default 30 s.
 	ServeTimeout time.Duration
+	// Retries is how many extra attempts one peer-addressed send makes
+	// after the first fails, with capped jittered backoff between
+	// attempts (default 1). Protocol operations tolerate the resulting
+	// duplicates: gossip messages are idempotent and broker puts
+	// overwrite. Negative disables retrying.
+	Retries int
+	// RetryBase and RetryMax bound the backoff between retry attempts
+	// and between recovery probes to a suppressed peer (defaults 100 ms
+	// and 5 s).
+	RetryBase, RetryMax time.Duration
+	// FailThreshold is how many consecutive failed sends to one peer
+	// suppress further attempts: once reached, sends to that peer fail
+	// fast (ErrSuppressed) until a backoff window expires, at which
+	// point exactly one attempt is admitted as a recovery probe.
+	// Default 3; 0 disables suppression.
+	FailThreshold int
+	// DialHook, when non-nil, replaces TCP dialing for peer-addressed
+	// sends (fault injection; see internal/faultnet). Set before use;
+	// not synchronized.
+	DialHook DialHook
 	// BytesSent/BytesRecv count real encoded bytes (approximate:
 	// counted at the net.Conn boundary). Read with atomic.LoadInt64.
 	BytesSent, BytesRecv int64
+
+	// nowFn and sleep are the retry layer's clock, swappable so backoff
+	// and suppression tests run on a fake clock without sleeping.
+	nowFn func() time.Duration
+	sleep func(time.Duration)
+
+	healthMu sync.Mutex
+	health   map[directory.PeerID]*peerHealth
 
 	m tpMetrics
 }
@@ -196,6 +229,9 @@ type tpMetrics struct {
 	dialFailures *metrics.Counter
 	timeouts     *metrics.Counter
 	rpcLatencyUS *metrics.Histogram
+	retries      *metrics.Counter
+	suppressed   *metrics.Counter
+	probes       *metrics.Counter
 	txBytes      [numKinds]*metrics.Counter
 	rxBytes      [numKinds]*metrics.Counter
 }
@@ -207,6 +243,9 @@ func newTpMetrics(r *metrics.Registry) tpMetrics {
 		timeouts:     r.Counter("transport_timeouts_total"),
 		rpcLatencyUS: r.Histogram("transport_rpc_latency_us",
 			[]int64{100, 500, 1000, 5000, 10000, 50000, 100000, 500000, 1000000}),
+		retries:    r.Counter("transport_send_retries_total"),
+		suppressed: r.Counter("transport_suppressed_sends_total"),
+		probes:     r.Counter("transport_recovery_probes_total"),
 	}
 	for k := Kind(0); k < numKinds; k++ {
 		m.txBytes[k] = r.Counter("transport_tx_bytes_" + k.String())
@@ -268,13 +307,21 @@ func New(id directory.PeerID, listenAddr string, handler Handler, resolve Resolv
 	}
 	t := &Transport{
 		id: id, ln: ln, handler: handler, resolve: resolve,
-		start:        time.Now(),
-		rng:          rand.New(rand.NewSource(seed)),
-		intervalCh:   make(chan time.Duration, 4),
-		DialTimeout:  2 * time.Second,
-		ServeTimeout: 30 * time.Second,
-		m:            newTpMetrics(reg),
+		start:         time.Now(),
+		rng:           rand.New(rand.NewSource(seed)),
+		retryRng:      rand.New(rand.NewSource(seed ^ 0x7265747279)), // "retry"
+		intervalCh:    make(chan time.Duration, 4),
+		DialTimeout:   2 * time.Second,
+		ServeTimeout:  30 * time.Second,
+		Retries:       1,
+		RetryBase:     100 * time.Millisecond,
+		RetryMax:      5 * time.Second,
+		FailThreshold: 3,
+		health:        make(map[directory.PeerID]*peerHealth),
+		m:             newTpMetrics(reg),
 	}
+	t.nowFn = t.Now
+	t.sleep = time.Sleep
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
@@ -330,12 +377,23 @@ func (t *Transport) Send(to directory.PeerID, m *gossip.Message) error {
 
 // --- client operations ---
 
-// dial resolves and connects to a peer.
+// dial resolves and connects to a peer, through DialHook when one is
+// mounted.
 func (t *Transport) dial(to directory.PeerID) (net.Conn, error) {
 	addr, ok := t.resolve(to)
 	if !ok || addr == "" {
 		t.m.dialFailures.Inc()
 		return nil, fmt.Errorf("transport: no address for peer %d", to)
+	}
+	if t.DialHook != nil {
+		t.m.dials.Inc()
+		conn, err := t.DialHook(to, addr, t.DialTimeout)
+		if err != nil {
+			t.m.dialFailures.Inc()
+			t.countTimeout(err)
+			return nil, err
+		}
+		return conn, nil
 	}
 	return t.dialAddr(addr)
 }
@@ -353,8 +411,13 @@ func (t *Transport) dialAddr(addr string) (net.Conn, error) {
 	return conn, nil
 }
 
-// oneway sends an envelope without waiting for a reply.
+// oneway sends an envelope without waiting for a reply, retrying per the
+// transport's retry policy.
 func (t *Transport) oneway(to directory.PeerID, env *Envelope) error {
+	return t.withRetry(to, func() error { return t.onewayOnce(to, env) })
+}
+
+func (t *Transport) onewayOnce(to directory.PeerID, env *Envelope) error {
 	conn, err := t.dial(to)
 	if err != nil {
 		return err
@@ -372,13 +435,26 @@ func (t *Transport) oneway(to directory.PeerID, env *Envelope) error {
 	return nil
 }
 
-// call sends an envelope and reads one reply.
+// call sends an envelope and reads one reply, retrying per the
+// transport's retry policy.
 func (t *Transport) call(to directory.PeerID, env *Envelope) (*Envelope, error) {
-	conn, err := t.dial(to)
+	var resp *Envelope
+	err := t.withRetry(to, func() error {
+		conn, err := t.dial(to)
+		if err != nil {
+			return err
+		}
+		r, err := t.exchange(conn, env)
+		if err != nil {
+			return err
+		}
+		resp = r
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	return t.exchange(conn, env)
+	return resp, nil
 }
 
 // callAddr is like call but dials a raw address (bootstrap, before the
@@ -412,7 +488,7 @@ func (t *Transport) exchange(conn net.Conn, env *Envelope) (*Envelope, error) {
 		return nil, err
 	}
 	if resp.Err != "" {
-		return nil, errors.New(resp.Err)
+		return nil, &RemoteError{Msg: resp.Err}
 	}
 	return &resp, nil
 }

@@ -14,4 +14,16 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# Fuzz smoke: run every fuzz target briefly. Go allows only one -fuzz
+# pattern per invocation, so iterate target by target; -run='^$' skips
+# the unit tests already covered above.
+FUZZTIME="${FUZZTIME:-5s}"
+echo "== fuzz smoke (${FUZZTIME} per target)"
+go test -run='^$' -fuzz=FuzzDecodeGaps -fuzztime="$FUZZTIME" ./internal/golomb/
+go test -run='^$' -fuzz=FuzzGapsRoundTrip -fuzztime="$FUZZTIME" ./internal/golomb/
+go test -run='^$' -fuzz=FuzzDecompress -fuzztime="$FUZZTIME" ./internal/bloom/
+go test -run='^$' -fuzz=FuzzDecodeDiff -fuzztime="$FUZZTIME" ./internal/bloom/
+go test -run='^$' -fuzz=FuzzCompressRoundTrip -fuzztime="$FUZZTIME" ./internal/bloom/
+go test -run='^$' -fuzz=FuzzEnvelopeDecode -fuzztime="$FUZZTIME" ./internal/transport/
+
 echo "== OK"
