@@ -25,6 +25,7 @@ import (
 	"planetp/internal/collection"
 	"planetp/internal/ir"
 	"planetp/internal/metrics"
+	"planetp/internal/search"
 )
 
 func main() {
@@ -37,6 +38,9 @@ func main() {
 	ksArg := flag.String("ks", "10,20,50,100,150,200,300,400", "k sweep for fig6a/6c")
 	dist := flag.String("dist", "weibull", "document distribution: weibull|uniform")
 	seed := flag.Int64("seed", 1, "random seed")
+	group := flag.Int("group", 0, "contact peers in groups of m (Section 5.2; 0 = one by one)")
+	conc := flag.Int("concurrency", 0, "peers of one group contacted at once (0/1 = sequential)")
+	cache := flag.Bool("cache", false, "memoize IPF/rankings in an IPF cache across queries")
 	flag.Parse()
 
 	distribution := ir.Weibull
@@ -44,11 +48,16 @@ func main() {
 		distribution = ir.Uniform
 	}
 
+	opts := search.Options{GroupSize: *group, Concurrency: *conc}
+	if *cache {
+		opts.Cache = search.NewIPFCache()
+	}
+
 	switch *exp {
 	case "table3":
 		table3(*scale, *seed)
 	case "fig6a", "fig6c":
-		fig6ac(*colName, *scale, *peers, parseInts(*ksArg), distribution, *seed)
+		fig6ac(*colName, *scale, *peers, parseInts(*ksArg), distribution, *seed, opts)
 	case "fig6b":
 		fig6b(*colName, *scale, *k, parseInts(*sizesArg), distribution, *seed)
 	default:
@@ -93,10 +102,11 @@ func table3(scale int, seed int64) {
 }
 
 // fig6ac sweeps k: recall/precision (6a) and peers contacted (6c).
-func fig6ac(name string, scale, peers int, ks []int, dist ir.Distribution, seed int64) {
+func fig6ac(name string, scale, peers int, ks []int, dist ir.Distribution, seed int64, opts search.Options) {
 	col := getCollection(name, scale, seed)
 	com := ir.Distribute(col, peers, dist, seed+7)
 	com.Metrics = metrics.NewRegistry()
+	com.SearchOpts = opts
 	fmt.Printf("# Figure 6a/6c: %s over %d peers (%s distribution)\n", col.Name, peers, dist)
 	fmt.Println("k,recall_idf,prec_idf,recall_ipf,prec_ipf,peers_idf,peers_ipf,peers_best")
 	for _, pt := range ir.Evaluate(com, ks) {
@@ -134,5 +144,12 @@ func summarize(reg *metrics.Registry) {
 		s.Get("search_stop_iterations_total"), s.Get("search_stopped_early_total"))
 	if h, ok := s.Histograms["search_peers_per_query"]; ok {
 		fmt.Printf("# peers/query histogram: bounds=%v counts=%v\n", h.Bounds, h.Counts)
+	}
+	if hits, misses := s.Get("search_ipf_cache_hits_total"), s.Get("search_ipf_cache_misses_total"); hits+misses > 0 {
+		fmt.Printf("# ipf cache: hits=%d misses=%d (%.1f%% hit rate)\n",
+			hits, misses, 100*float64(hits)/float64(hits+misses))
+	}
+	if h, ok := s.Histograms["search_fetch_latency_us"]; ok && h.Count > 0 {
+		fmt.Printf("# fetch latency: n=%d mean=%.1fus\n", h.Count, float64(h.Sum)/float64(h.Count))
 	}
 }

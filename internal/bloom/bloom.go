@@ -15,7 +15,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"math/bits"
 
@@ -81,24 +80,66 @@ func (f *Filter) Keys() int { return int(f.nkeys) }
 // SetBits returns the number of one bits.
 func (f *Filter) SetBits() int { return int(f.setcnt) }
 
+// FNV-1a 64-bit parameters (FNV offset basis and prime).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Digest is the hash-once summary of one key: the two base hashes the
+// Kirsch–Mitzenmacher construction combines into any number of index
+// functions. Computing a Digest walks the key exactly once; probing a
+// filter with it costs only arithmetic. The query engine hashes each
+// query term once and sweeps every peer's filter with the digests,
+// instead of re-hashing per (peer, term).
+type Digest struct {
+	// H1 is FNV-1a over the key.
+	H1 uint64
+	// H2 continues the same FNV-1a state over a suffix byte, forced odd
+	// so strides cover the whole bit table.
+	H2 uint64
+}
+
+// MakeDigest hashes key once. The construction is bit-identical to the
+// original two-pass form (FNV-1a of the key, and FNV-1a of the key plus
+// the suffix byte 0x9e): FNV-1a is a running state, so the second hash is
+// the first continued over one more byte.
+func MakeDigest(key string) Digest {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return Digest{H1: h, H2: ((h ^ 0x9e) * fnvPrime64) | 1}
+}
+
+// MakeDigests hashes every key once.
+func MakeDigests(keys []string) []Digest {
+	out := make([]Digest, len(keys))
+	for i, k := range keys {
+		out[i] = MakeDigest(k)
+	}
+	return out
+}
+
 // hashPair derives the two base hashes for a key.
 func hashPair(key string) (uint64, uint64) {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(key)) // fnv never errors
-	sum := h.Sum64()
-	h1 := sum
-	// Second independent-ish hash: FNV over the key with a suffix byte.
-	h2 := fnv.New64a()
-	_, _ = h2.Write([]byte(key))
-	_, _ = h2.Write([]byte{0x9e})
-	return h1, h2.Sum64() | 1 // force odd so strides cover the table
+	d := MakeDigest(key)
+	return d.H1, d.H2
 }
 
 // indexes computes the nhash bit positions for key, appending to dst.
 func (f *Filter) indexes(key string, dst []uint64) []uint64 {
-	h1, h2 := hashPair(key)
+	return f.IndexesDigest(MakeDigest(key), dst)
+}
+
+// IndexesDigest computes the nhash bit positions for a precomputed
+// digest, appending to dst.
+func (f *Filter) IndexesDigest(d Digest, dst []uint64) []uint64 {
+	h := d.H1
 	for i := uint32(0); i < f.nhash; i++ {
-		dst = append(dst, (h1+uint64(i)*h2)%f.nbits)
+		dst = append(dst, h%f.nbits)
+		h += d.H2
 	}
 	return dst
 }
@@ -166,6 +207,30 @@ func (f *Filter) Contains(key string) bool {
 func (f *Filter) ContainsAll(keys []string) bool {
 	for _, k := range keys {
 		if !f.Contains(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsDigest reports whether the key summarized by d may be in the
+// filter, without re-hashing it.
+func (f *Filter) ContainsDigest(d Digest) bool {
+	h := d.H1
+	for i := uint32(0); i < f.nhash; i++ {
+		if !f.getBit(h % f.nbits) {
+			return false
+		}
+		h += d.H2
+	}
+	return true
+}
+
+// ContainsAllDigests reports whether every digested key may be present,
+// stopping at the first miss (conjunctive probing).
+func (f *Filter) ContainsAllDigests(ds []Digest) bool {
+	for i := range ds {
+		if !f.ContainsDigest(ds[i]) {
 			return false
 		}
 	}

@@ -93,6 +93,7 @@ type Peer struct {
 	broker      *broker.Broker
 	watchers    []remoteWatch
 	registry    *search.Registry
+	searchCache *search.IPFCache
 	view        *dirView
 	userRng     *rand.Rand
 	reg         *metrics.Registry
@@ -139,6 +140,11 @@ func NewPeer(cfg Config) (*Peer, error) {
 	p.lastGossip = p.filter.Clone()
 	p.view = &dirView{p: p}
 	p.registry = search.NewRegistry(p.view, fetcher{p})
+	// Shared IPF/rank cache for the query fast path: keyed by the
+	// directory generation (via dirView.ViewVersion) and additionally
+	// flushed on every filter notification through the registry.
+	p.searchCache = search.NewIPFCache()
+	p.registry.SetCache(p.searchCache)
 
 	tp, err := transport.New(cfg.ID, cfg.ListenAddr, (*handler)(p), p.resolveAddr, cfg.Seed, cfg.Metrics)
 	if err != nil {
@@ -452,7 +458,19 @@ func max32(a, b uint32) uint32 {
 
 // Search runs the ranked TFxIPF search (Section 5.2) for a raw query.
 func (p *Peer) Search(query string, k int) ([]search.ScoredDoc, search.Stats) {
-	return search.Ranked(p.view, fetcher{p}, Terms(query), search.Options{K: k, Metrics: p.reg})
+	return p.SearchWith(query, search.Options{K: k})
+}
+
+// SearchWith runs a ranked search with caller-tuned options (contact
+// group size, fan-out concurrency, per-peer timeout, stop-rule
+// overrides). The peer's metrics registry and shared IPF/rank cache are
+// filled in; the peer's fetcher is safe for concurrent use, so
+// Concurrency > 1 overlaps the per-peer network latency within each
+// contact group.
+func (p *Peer) SearchWith(query string, opt search.Options) ([]search.ScoredDoc, search.Stats) {
+	opt.Metrics = p.reg
+	opt.Cache = p.searchCache
+	return search.Ranked(p.view, fetcher{p}, Terms(query), opt)
 }
 
 // SearchVia delegates a ranked search to a better-connected peer, which

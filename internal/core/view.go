@@ -48,6 +48,30 @@ func (v *dirView) Contains(id directory.PeerID, term string) bool {
 	return f.Contains(term)
 }
 
+// ContainsDigest implements search.DigestView: the query engine hashes
+// each term once and probes every peer's decompressed filter with the
+// digest.
+func (v *dirView) ContainsDigest(id directory.PeerID, d bloom.Digest) bool {
+	if id == v.p.id {
+		v.p.mu.Lock()
+		defer v.p.mu.Unlock()
+		return v.p.filter.ContainsDigest(d)
+	}
+	f := v.filterFor(id)
+	if f == nil {
+		return false
+	}
+	return f.ContainsDigest(d)
+}
+
+// ViewVersion implements search.VersionedView with the directory's
+// mutation generation, which advances on every accepted record,
+// on/off-line flip, and drop — including the local peer's own publishes
+// (they upsert the self record).
+func (v *dirView) ViewVersion() (uint64, bool) {
+	return v.p.dir.Generation(), true
+}
+
 // filterFor returns the decompressed filter for id, caching by version.
 func (v *dirView) filterFor(id directory.PeerID) *bloom.Filter {
 	rec, ok := v.p.dir.Get(id)
@@ -271,7 +295,8 @@ func (h *handler) HandleNotify(sn broker.Snippet) {
 // proxy-search accommodation for modem peers).
 func (h *handler) HandleProxySearch(terms []string, k int) []search.ScoredDoc {
 	p := (*Peer)(h)
-	docs, _ := search.Ranked(p.view, fetcher{p}, terms, search.Options{K: k, Metrics: p.reg})
+	docs, _ := search.Ranked(p.view, fetcher{p}, terms,
+		search.Options{K: k, Metrics: p.reg, Cache: p.searchCache})
 	return docs
 }
 

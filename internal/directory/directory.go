@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -112,6 +113,12 @@ type Directory struct {
 	nKnown  int
 	nOnline int
 
+	// gen counts observable mutations (accepted upserts, on/off-line
+	// flips, drops). Unlike digest it also covers the local on/off-line
+	// opinion, which changes search candidate sets; the query engine's
+	// IPF/rank caches key on it. Atomic so readers skip the lock.
+	gen atomic.Uint64
+
 	// cached summary, shared immutably; nil when stale.
 	summaryCache []Version
 }
@@ -189,6 +196,7 @@ func (d *Directory) Upsert(rec Record) bool {
 		}
 	}
 	d.summaryCache = nil
+	d.gen.Add(1)
 	return true
 }
 
@@ -250,6 +258,7 @@ func (d *Directory) MarkOffline(id PeerID, now time.Duration) {
 	e.Online = false
 	e.OfflineSince = now
 	d.nOnline--
+	d.gen.Add(1)
 }
 
 // MarkOnline flips the local opinion back (used when a peer hears directly
@@ -267,6 +276,7 @@ func (d *Directory) MarkOnline(id PeerID) {
 	e.Online = true
 	e.OfflineSince = 0
 	d.nOnline++
+	d.gen.Add(1)
 }
 
 // DropDead removes every record that has been continuously off-line for at
@@ -288,9 +298,16 @@ func (d *Directory) DropDead(tDead time.Duration, now time.Duration) []PeerID {
 	}
 	if dropped != nil {
 		d.summaryCache = nil
+		d.gen.Add(1)
 	}
 	return dropped
 }
+
+// Generation returns a counter that advances on every observable mutation
+// (accepted upsert, on/off-line flip, drop). Two equal generations imply
+// an unchanged directory; search layers use it to invalidate caches keyed
+// on directory state. Reads take no lock.
+func (d *Directory) Generation() uint64 { return d.gen.Load() }
 
 // Digest returns a 64-bit fingerprint of the (id, version) state. Two
 // directories with equal digests hold the same versions with overwhelming

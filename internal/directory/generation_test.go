@@ -1,0 +1,66 @@
+package directory
+
+import (
+	"testing"
+	"time"
+)
+
+// TestGeneration: the mutation generation advances exactly on observable
+// changes — accepted records, on/off-line flips, drops — and stays put on
+// rejected or idempotent operations, so IPF caches keyed on it neither go
+// stale nor churn needlessly.
+func TestGeneration(t *testing.T) {
+	d := New(0, 8)
+	g := d.Generation()
+
+	if !d.Upsert(rec(1, 1, 0)) {
+		t.Fatal("fresh record rejected")
+	}
+	if d.Generation() <= g {
+		t.Fatal("accepted upsert did not advance generation")
+	}
+	g = d.Generation()
+
+	d.Upsert(rec(1, 1, 0)) // duplicate: rejected
+	d.Upsert(rec(99, 1, 0))
+	if d.Generation() != g {
+		t.Fatal("rejected upsert advanced generation")
+	}
+
+	d.MarkOffline(1, 5*time.Second)
+	if d.Generation() <= g {
+		t.Fatal("offline flip did not advance generation")
+	}
+	g = d.Generation()
+	d.MarkOffline(1, 10*time.Second) // already offline
+	if d.Generation() != g {
+		t.Fatal("idempotent MarkOffline advanced generation")
+	}
+
+	d.MarkOnline(1)
+	if d.Generation() <= g {
+		t.Fatal("online flip did not advance generation")
+	}
+	g = d.Generation()
+	d.MarkOnline(1)
+	if d.Generation() != g {
+		t.Fatal("idempotent MarkOnline advanced generation")
+	}
+
+	d.Upsert(rec(2, 1, 0))
+	d.MarkOffline(2, time.Second)
+	g = d.Generation()
+	if dropped := d.DropDead(time.Second, time.Hour); len(dropped) != 1 {
+		t.Fatalf("dropped = %v", dropped)
+	}
+	if d.Generation() <= g {
+		t.Fatal("drop did not advance generation")
+	}
+	g = d.Generation()
+	if dropped := d.DropDead(time.Second, time.Hour); len(dropped) != 0 {
+		t.Fatalf("second drop = %v", dropped)
+	}
+	if d.Generation() != g {
+		t.Fatal("no-op DropDead advanced generation")
+	}
+}

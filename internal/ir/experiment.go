@@ -46,7 +46,10 @@ func Evaluate(c *Community, ks []int) []RPPoint {
 			pt.PeersIDF += float64(len(owners))
 
 			// PlanetP TFxIPF with adaptive stopping.
-			docs, st := search.Ranked(c, c, q.Terms, search.Options{K: k, Metrics: c.Metrics})
+			opt := c.SearchOpts
+			opt.K = k
+			opt.Metrics = c.Metrics
+			docs, st := search.Ranked(c, c, q.Terms, opt)
 			retrieved := make([]int, 0, len(docs))
 			for _, d := range docs {
 				if idx, ok := ParseDocKey(d.Key); ok {
@@ -102,7 +105,10 @@ func RecallVsSize(col *collection.Collection, sizes []int, k int, dist Distribut
 		pt.Peers = n
 		for qi := range col.Queries {
 			q := &col.Queries[qi]
-			docs, _ := search.Ranked(c, c, q.Terms, search.Options{K: k, Metrics: c.Metrics})
+			opt := c.SearchOpts
+			opt.K = k
+			opt.Metrics = c.Metrics
+			docs, _ := search.Ranked(c, c, q.Terms, opt)
 			retrieved := make([]int, 0, len(docs))
 			for _, d := range docs {
 				if idx, ok := ParseDocKey(d.Key); ok {

@@ -55,6 +55,10 @@ type Community struct {
 	// Metrics, if non-nil, receives per-query search counters from
 	// experiment runs over this community.
 	Metrics *metrics.Registry
+	// SearchOpts seeds the search options of every experiment query
+	// (group size, fan-out concurrency, IPF cache); K and Metrics are
+	// filled per run.
+	SearchOpts search.Options
 }
 
 // weibullWeight draws a Weibull(shape, 1) variate.
@@ -145,6 +149,17 @@ func (c *Community) Peers() []directory.PeerID {
 func (c *Community) Contains(id directory.PeerID, term string) bool {
 	return c.Filters[id].Contains(term)
 }
+
+// ContainsDigest implements search.DigestView: probe the peer's filter
+// with a precomputed digest (no per-peer re-hashing).
+func (c *Community) ContainsDigest(id directory.PeerID, d bloom.Digest) bool {
+	return c.Filters[id].ContainsDigest(d)
+}
+
+// ViewVersion implements search.VersionedView: a distributed community is
+// immutable once built, so one constant version keeps IPF caches warm for
+// the whole experiment.
+func (c *Community) ViewVersion() (uint64, bool) { return 1, true }
 
 // QueryPeer implements search.Fetcher: the peer's documents containing at
 // least one query term, with the stats equation 2 needs.

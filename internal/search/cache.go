@@ -1,0 +1,122 @@
+package search
+
+import (
+	"strings"
+	"sync"
+
+	"planetp/internal/metrics"
+)
+
+// IPFCache memoizes per-query IPF maps and peer rankings. The local
+// ranking step (equations 1 and 3) is a pure function of the directory's
+// filter state and the query's term sequence, so repeated queries —
+// persistent queries re-evaluated on gossip arrival, query refinement,
+// proxy-search fan-in, benchmark sweeps — can skip the peers × terms
+// filter sweep entirely until some filter changes.
+//
+// Entries are keyed by the literal term sequence and stamped with the
+// view's version (VersionedView). When the view's version advances every
+// entry is dropped on the next lookup; views that cannot version
+// themselves must call Invalidate explicitly when filters change (the
+// persistent-query Registry does this on every filter notification).
+//
+// An IPFCache is safe for concurrent use. Cached IPF maps and rankings
+// are shared and must be treated as immutable by callers.
+type IPFCache struct {
+	mu      sync.Mutex
+	epoch   uint64 // bumped on every flush (Invalidate or version advance)
+	stamped bool   // version is meaningful
+	version uint64 // view version the entries were computed at
+	entries map[string]rankEntry
+}
+
+// rankEntry is one memoized query: its IPF map and peer ranking.
+type rankEntry struct {
+	ipf   map[string]float64
+	ranks []PeerRank
+}
+
+// NewIPFCache returns an empty cache.
+func NewIPFCache() *IPFCache {
+	return &IPFCache{entries: make(map[string]rankEntry)}
+}
+
+// Invalidate drops every entry. Nil-safe, so optional wiring can call it
+// unconditionally.
+func (c *IPFCache) Invalidate() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.entries = make(map[string]rankEntry)
+	c.stamped = false
+	c.epoch++
+	c.mu.Unlock()
+}
+
+// Len returns the number of live entries.
+func (c *IPFCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// cacheKey identifies a query by its literal term sequence. Order is
+// preserved: equation 3 folds IPF weights in term order, and reusing a
+// permuted entry could differ in the last float ulp — the cache trades
+// hit rate for bit-exact equivalence with the uncached path.
+func cacheKey(terms []string) string {
+	return strings.Join(terms, "\x00")
+}
+
+// IPFRanked returns the query's IPF map and peer ranking, from cache when
+// fresh — the memoized equivalent of IPF followed by RankPeers. reg (may
+// be nil) receives search_ipf_cache_hits_total / _misses_total.
+func (c *IPFCache) IPFRanked(view FilterView, terms []string, reg *metrics.Registry) (map[string]float64, []PeerRank) {
+	q := newQuery(view, terms)
+	return c.rankFor(&q, reg)
+}
+
+// rankFor is IPFRanked over an already-built query prober.
+func (c *IPFCache) rankFor(q *query, reg *metrics.Registry) (map[string]float64, []PeerRank) {
+	key := cacheKey(q.terms)
+	var ver uint64
+	var versioned bool
+	if vv, ok := q.view.(VersionedView); ok {
+		ver, versioned = vv.ViewVersion()
+	}
+	c.mu.Lock()
+	if versioned && (!c.stamped || c.version != ver) {
+		// The view moved on: every entry is stale.
+		c.entries = make(map[string]rankEntry, len(c.entries))
+		c.version = ver
+		c.stamped = true
+		c.epoch++
+	}
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		reg.Counter("search_ipf_cache_hits_total").Inc()
+		return e.ipf, e.ranks
+	}
+	epoch := c.epoch
+	c.mu.Unlock()
+	reg.Counter("search_ipf_cache_misses_total").Inc()
+
+	// Compute outside the lock: sweeps can be long and concurrent
+	// searches for different terms should overlap.
+	peers := q.view.Peers()
+	ipf := q.ipf(peers)
+	ranks := q.rank(peers, ipf)
+
+	c.mu.Lock()
+	// Store only if no flush (invalidation or version advance) happened
+	// while we swept; a stale store would outlive its truth.
+	if c.epoch == epoch {
+		c.entries[key] = rankEntry{ipf: ipf, ranks: ranks}
+	}
+	c.mu.Unlock()
+	return ipf, ranks
+}

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"planetp/internal/bloom"
 	"planetp/internal/directory"
 )
 
@@ -19,6 +20,9 @@ import (
 // underlying bitmaps.
 type MergedView struct {
 	base FilterView
+	// basedv is base's digest-probing capability (nil when absent), so
+	// the query fast path flows through group semantics unchanged.
+	basedv DigestView
 	// group maps a peer to its group's representative member list.
 	group map[directory.PeerID][]directory.PeerID
 	peers []directory.PeerID
@@ -36,6 +40,7 @@ func NewMergedView(base FilterView, groupSize int) *MergedView {
 		group: make(map[directory.PeerID][]directory.PeerID, len(peers)),
 		peers: peers,
 	}
+	mv.basedv, _ = base.(DigestView)
 	for i := 0; i < len(peers); i += groupSize {
 		end := i + groupSize
 		if end > len(peers) {
@@ -62,6 +67,32 @@ func (mv *MergedView) Contains(id directory.PeerID, term string) bool {
 		}
 	}
 	return false
+}
+
+// ContainsDigest implements DigestView with the same group semantics as
+// Contains, probing the base's filters with the precomputed digest.
+func (mv *MergedView) ContainsDigest(id directory.PeerID, d bloom.Digest) bool {
+	for _, member := range mv.group[id] {
+		if mv.basedv.ContainsDigest(member, d) {
+			return true
+		}
+	}
+	return false
+}
+
+// DigestProbes reports whether the wrapped base can probe digests; when
+// it cannot, the query engine falls back to Contains even though
+// MergedView structurally satisfies DigestView.
+func (mv *MergedView) DigestProbes() bool { return mv.basedv != nil }
+
+// ViewVersion implements VersionedView by forwarding the base's version.
+// The peer partition is fixed at construction, so group semantics add no
+// versioned state of their own.
+func (mv *MergedView) ViewVersion() (uint64, bool) {
+	if vv, ok := mv.base.(VersionedView); ok {
+		return vv.ViewVersion()
+	}
+	return 0, false
 }
 
 // Groups returns the number of groups (the merged-filter storage cost in

@@ -17,6 +17,11 @@ type PersistentQuery struct {
 	// Fn receives each newly discovered match.
 	Fn func(DocResult)
 
+	// q is the hash-once prober for Terms, built at registration: a
+	// standing query hashes its terms exactly once for its whole life,
+	// no matter how many filter notifications re-evaluate it.
+	q query
+
 	mu   sync.Mutex
 	seen map[string]bool
 }
@@ -28,6 +33,7 @@ type Registry struct {
 	queries []*PersistentQuery
 	view    FilterView
 	fetch   Fetcher
+	cache   *IPFCache
 }
 
 // NewRegistry returns a registry that evaluates queries against view and
@@ -36,11 +42,21 @@ func NewRegistry(view FilterView, fetch Fetcher) *Registry {
 	return &Registry{view: view, fetch: fetch}
 }
 
+// SetCache attaches the peer's shared IPF/rank cache: the registry
+// invalidates it whenever a filter notification arrives, covering views
+// that cannot version themselves. Nil detaches.
+func (r *Registry) SetCache(c *IPFCache) {
+	r.mu.Lock()
+	r.cache = c
+	r.mu.Unlock()
+}
+
 // Post registers a persistent query and immediately evaluates it against
 // the current community (so existing matches fire right away). It returns
 // the query handle and a cancel function.
 func (r *Registry) Post(terms []string, fn func(DocResult)) (*PersistentQuery, func()) {
 	q := &PersistentQuery{Terms: terms, Fn: fn, seen: make(map[string]bool)}
+	q.q = newQuery(r.view, terms)
 	r.mu.Lock()
 	r.queries = append(r.queries, q)
 	r.mu.Unlock()
@@ -67,10 +83,14 @@ func (r *Registry) Queries() int {
 
 // NotifyFilter re-evaluates all queries against a single peer whose Bloom
 // filter just changed (the gossip layer calls this on fresh records).
+// Any attached IPFCache is invalidated first: a changed filter moves
+// every memoized IPF and ranking.
 func (r *Registry) NotifyFilter(peer directory.PeerID) {
 	r.mu.Lock()
 	qs := append([]*PersistentQuery(nil), r.queries...)
+	cache := r.cache
 	r.mu.Unlock()
+	cache.Invalidate()
 	only := &peer
 	for _, q := range qs {
 		r.evaluate(q, only)
@@ -121,14 +141,7 @@ func (r *Registry) evaluate(q *PersistentQuery, only *directory.PeerID) {
 		candidates = []directory.PeerID{*only}
 	}
 	for _, id := range candidates {
-		hit := true
-		for _, t := range q.Terms {
-			if !r.view.Contains(id, t) {
-				hit = false
-				break
-			}
-		}
-		if !hit {
+		if !q.q.containsAll(id) {
 			continue
 		}
 		docs, err := r.fetch.QueryPeerAll(id, q.Terms)

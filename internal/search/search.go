@@ -3,12 +3,23 @@
 // filters, the TFxIPF vector-space ranking that approximates TFxIDF using
 // only Bloom-filter summaries, the adaptive stopping heuristic (equation
 // 4), and persistent queries.
+//
+// The query fast path hashes each query term exactly once (bloom.Digest),
+// sweeps every peer's filter with the precomputed digests, memoizes the
+// per-query IPF map and peer ranking in an IPFCache keyed by directory
+// version, and overlaps the per-group peer contacts of Section 5.2's
+// "groups of m" rule with bounded concurrency while keeping results
+// byte-identical to a sequential sweep.
 package search
 
 import (
+	"context"
 	"math"
 	"sort"
+	"sync"
+	"time"
 
+	"planetp/internal/bloom"
 	"planetp/internal/directory"
 	"planetp/internal/metrics"
 )
@@ -22,6 +33,132 @@ type FilterView interface {
 	Peers() []directory.PeerID
 	// Contains reports whether peer id's Bloom filter may contain term.
 	Contains(id directory.PeerID, term string) bool
+}
+
+// DigestView is an optional FilterView extension: views backed by real
+// Bloom filters answer membership for a precomputed digest, so a query
+// hashes each term once instead of once per (peer, term). The query
+// engine probes through this interface whenever the view provides it.
+type DigestView interface {
+	FilterView
+	// ContainsDigest reports whether peer id's filter may contain the
+	// key summarized by d.
+	ContainsDigest(id directory.PeerID, d bloom.Digest) bool
+}
+
+// VersionedView is an optional FilterView extension: the view reports a
+// version of its filter state that advances on every observable change
+// (e.g. the directory replica's mutation generation). IPFCache uses it to
+// drop stale entries automatically. ok=false means the view cannot
+// version itself; caches then rely on explicit Invalidate calls.
+type VersionedView interface {
+	ViewVersion() (version uint64, ok bool)
+}
+
+// digestCapable lets wrapper views (MergedView) report whether their base
+// actually supports digest probing; absent, implementing DigestView is
+// taken as support.
+type digestCapable interface {
+	DigestProbes() bool
+}
+
+// query binds one query's terms to a view, hashing each term exactly
+// once. When the view implements DigestView every probe is digest-based;
+// otherwise probes fall back to Contains (the view re-hashes internally,
+// as before the fast path).
+type query struct {
+	view    FilterView
+	dv      DigestView
+	terms   []string
+	digests []bloom.Digest
+}
+
+// newQuery prepares the hash-once prober for terms against view.
+func newQuery(view FilterView, terms []string) query {
+	q := query{view: view, terms: terms}
+	if dv, ok := view.(DigestView); ok {
+		if dc, ok2 := view.(digestCapable); !ok2 || dc.DigestProbes() {
+			q.dv = dv
+			q.digests = bloom.MakeDigests(terms)
+		}
+	}
+	return q
+}
+
+// contains probes term i of the query against peer id.
+func (q *query) contains(id directory.PeerID, i int) bool {
+	if q.dv != nil {
+		return q.dv.ContainsDigest(id, q.digests[i])
+	}
+	return q.view.Contains(id, q.terms[i])
+}
+
+// containsAll reports whether peer id's filter may contain every term,
+// stopping at the first miss.
+func (q *query) containsAll(id directory.PeerID) bool {
+	for i := range q.terms {
+		if !q.contains(id, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// ipf computes equation 1 over the given peers with one filter sweep per
+// term (see IPF).
+func (q *query) ipf(peers []directory.PeerID) map[string]float64 {
+	n := float64(len(peers))
+	out := make(map[string]float64, len(q.terms))
+	for i, t := range q.terms {
+		nt := 0
+		for _, id := range peers {
+			if q.contains(id, i) {
+				nt++
+			}
+		}
+		if nt == 0 {
+			out[t] = 0
+			continue
+		}
+		out[t] = math.Log(1 + n/float64(nt))
+	}
+	return out
+}
+
+// rank computes equation 3 over the given peers (see RankPeers). Summation
+// follows query-term order so scores are bit-identical to the pre-digest
+// implementation.
+func (q *query) rank(peers []directory.PeerID, ipf map[string]float64) []PeerRank {
+	type termWeight struct {
+		idx int
+		w   float64
+	}
+	// Zero-IPF terms cannot contribute; drop them before the peer sweep.
+	tw := make([]termWeight, 0, len(q.terms))
+	for i, t := range q.terms {
+		if w := ipf[t]; w > 0 {
+			tw = append(tw, termWeight{idx: i, w: w})
+		}
+	}
+	out := make([]PeerRank, 0, len(peers))
+	for _, id := range peers {
+		score := 0.0
+		for _, t := range tw {
+			if q.contains(id, t.idx) {
+				score += t.w
+			}
+		}
+		if score > 0 {
+			out = append(out, PeerRank{Peer: id, Score: score})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Peer < out[j].Peer
+	})
+	return out
 }
 
 // DocResult is one document returned by a peer's local index in response
@@ -39,7 +176,8 @@ type DocResult struct {
 
 // Fetcher executes a query against one peer's local index. Live mode goes
 // over the network; simulations call in-process. An error means the peer
-// was unreachable; the searcher skips it.
+// was unreachable; the searcher skips it. A Fetcher must be safe for
+// concurrent use when searches run with Options.Concurrency > 1.
 type Fetcher interface {
 	// QueryPeer returns the peer's documents containing at least one of
 	// terms (for ranked search) along with ranking statistics.
@@ -49,28 +187,22 @@ type Fetcher interface {
 	QueryPeerAll(id directory.PeerID, terms []string) ([]DocResult, error)
 }
 
+// ContextFetcher is an optional Fetcher extension: fetchers that honor
+// cancellation let the searcher bound each peer contact with
+// Options.PeerTimeout (a slow peer then counts as unreachable instead of
+// stalling the whole group).
+type ContextFetcher interface {
+	QueryPeerContext(ctx context.Context, id directory.PeerID, terms []string) ([]DocResult, error)
+	QueryPeerAllContext(ctx context.Context, id directory.PeerID, terms []string) ([]DocResult, error)
+}
+
 // IPF computes the inverse peer frequency for each term (Section 5.2):
 // IPF_t = log(1 + N/N_t), where N is the community size and N_t the number
 // of peers whose Bloom filter contains t. Terms hit by no peer are given
 // IPF 0 (they cannot contribute to any peer's rank anyway).
 func IPF(view FilterView, terms []string) map[string]float64 {
-	peers := view.Peers()
-	n := float64(len(peers))
-	out := make(map[string]float64, len(terms))
-	for _, t := range terms {
-		nt := 0
-		for _, id := range peers {
-			if view.Contains(id, t) {
-				nt++
-			}
-		}
-		if nt == 0 {
-			out[t] = 0
-			continue
-		}
-		out[t] = math.Log(1 + n/float64(nt))
-	}
-	return out
+	q := newQuery(view, terms)
+	return q.ipf(view.Peers())
 }
 
 // PeerRank is one peer's relevance to a query (equation 3).
@@ -83,37 +215,29 @@ type PeerRank struct {
 // BF_i (equation 3), descending; ties break by peer id for determinism.
 // Peers with score 0 (no query term hits) are omitted.
 func RankPeers(view FilterView, terms []string, ipf map[string]float64) []PeerRank {
-	peers := view.Peers()
-	out := make([]PeerRank, 0, len(peers))
-	for _, id := range peers {
-		score := 0.0
-		for _, t := range terms {
-			if ipf[t] > 0 && view.Contains(id, t) {
-				score += ipf[t]
-			}
-		}
-		if score > 0 {
-			out = append(out, PeerRank{Peer: id, Score: score})
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Peer < out[j].Peer
-	})
-	return out
+	q := newQuery(view, terms)
+	return q.rank(view.Peers(), ipf)
 }
 
 // ScoreDoc computes equation 2 with IPF substituted for IDF:
 //
 //	Sim(Q,D) = Σ_{t∈Q} w_{D,t} × IPF_t / sqrt(|D|),  w_{D,t} = 1+log(f_{D,t})
+//
+// Summation runs in sorted term order: float addition is not associative,
+// and ranging the map directly would make the last ulp of a score — and
+// thus occasionally the top-k cut — vary run to run.
 func ScoreDoc(d DocResult, ipf map[string]float64) float64 {
 	if d.DocLen <= 0 {
 		return 0
 	}
+	terms := make([]string, 0, len(d.TermFreqs))
+	for t := range d.TermFreqs {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
 	sum := 0.0
-	for t, f := range d.TermFreqs {
+	for _, t := range terms {
+		f := d.TermFreqs[t]
 		if f <= 0 {
 			continue
 		}
@@ -186,22 +310,151 @@ type Options struct {
 	// until k documents are retrieved (the naive rule the paper says
 	// performs terribly).
 	NoAdaptiveStop bool
+	// Concurrency bounds how many peers of one contact group (or
+	// exhaustive candidates) are queried at once. 0 or 1 contacts peers
+	// sequentially; higher values overlap the per-peer latency the
+	// paper's group rule exists to hide. Responses are merged in rank
+	// order, so results are byte-identical regardless of the setting.
+	// Values > 1 require a Fetcher safe for concurrent use.
+	Concurrency int
+	// PeerTimeout bounds each peer contact when the Fetcher also
+	// implements ContextFetcher; 0 means no per-peer deadline.
+	PeerTimeout time.Duration
+	// Cache, if non-nil, memoizes the query's IPF map and peer ranking
+	// keyed by (view version, term sequence); see IPFCache.
+	Cache *IPFCache
 	// Metrics, if non-nil, receives per-query counters (search_*
 	// names). Nil disables instrumentation.
 	Metrics *metrics.Registry
 }
 
+// fetchLatencyBounds are the microsecond buckets for the per-peer
+// search_fetch_latency_us histogram.
+var fetchLatencyBounds = []int64{
+	50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 500000,
+}
+
+// contactor runs one search's per-peer fetches: bounded fan-out, optional
+// per-peer deadline, latency instrumentation resolved once per search.
+type contactor struct {
+	fetch   Fetcher
+	cf      ContextFetcher // non-nil only when a timeout is in force
+	terms   []string
+	all     bool
+	timeout time.Duration
+	limit   int
+	hist    *metrics.Histogram
+}
+
+// newContactor resolves opt's fetch policy once.
+func newContactor(fetch Fetcher, terms []string, all bool, opt Options) contactor {
+	c := contactor{fetch: fetch, terms: terms, all: all, limit: opt.Concurrency}
+	if c.limit < 1 {
+		c.limit = 1
+	}
+	if opt.PeerTimeout > 0 {
+		if cf, ok := fetch.(ContextFetcher); ok {
+			c.cf = cf
+			c.timeout = opt.PeerTimeout
+		}
+	}
+	if opt.Metrics != nil {
+		c.hist = opt.Metrics.Histogram("search_fetch_latency_us", fetchLatencyBounds)
+	}
+	return c
+}
+
+// one contacts a single peer.
+func (c *contactor) one(id directory.PeerID) ([]DocResult, error) {
+	var start time.Time
+	if c.hist != nil {
+		start = time.Now()
+	}
+	var docs []DocResult
+	var err error
+	switch {
+	case c.cf != nil:
+		ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+		if c.all {
+			docs, err = c.cf.QueryPeerAllContext(ctx, id, c.terms)
+		} else {
+			docs, err = c.cf.QueryPeerContext(ctx, id, c.terms)
+		}
+		cancel()
+	case c.all:
+		docs, err = c.fetch.QueryPeerAll(id, c.terms)
+	default:
+		docs, err = c.fetch.QueryPeer(id, c.terms)
+	}
+	if c.hist != nil {
+		c.hist.Observe(time.Since(start).Microseconds())
+	}
+	return docs, err
+}
+
+// fetchResult is one peer's response.
+type fetchResult struct {
+	docs []DocResult
+	err  error
+}
+
+// group contacts ids (one rank-order contact group), overlapping fetches
+// up to the concurrency bound, and returns responses positionally so the
+// caller's sequential merge is identical to a serial sweep.
+func (c *contactor) group(ids []directory.PeerID, scratch []fetchResult) []fetchResult {
+	out := scratch[:0]
+	for range ids {
+		out = append(out, fetchResult{})
+	}
+	workers := c.limit
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	if workers <= 1 {
+		for i, id := range ids {
+			out[i].docs, out[i].err = c.one(id)
+		}
+		return out
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range ids {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			out[i].docs, out[i].err = c.one(ids[i])
+			<-sem
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// rankedFor computes — or fetches from opt.Cache — the query's IPF map
+// and peer ranking.
+func rankedFor(q *query, opt Options) (map[string]float64, []PeerRank) {
+	if opt.Cache != nil {
+		return opt.Cache.rankFor(q, opt.Metrics)
+	}
+	peers := q.view.Peers()
+	ipf := q.ipf(peers)
+	return ipf, q.rank(peers, ipf)
+}
+
 // Ranked runs the full TFxIPF selective search (Section 5.2): rank peers
 // by equation 3, contact them in rank order, rank their documents by
 // equation 2, and stop when p consecutive peers fail to contribute to the
-// current top k.
+// current top k. Peers within one contact group are fetched concurrently
+// when Options.Concurrency allows; the merge happens in rank order, so
+// the result set and Stats match the sequential sweep exactly.
 func Ranked(view FilterView, fetch Fetcher, terms []string, opt Options) ([]ScoredDoc, Stats) {
 	var st Stats
 	if opt.K <= 0 || len(terms) == 0 {
 		return nil, st
 	}
-	ipf := IPF(view, terms)
-	ranked := RankPeers(view, terms, ipf)
+	q := newQuery(view, terms)
+	ipf, ranked := rankedFor(&q, opt)
 	st.PeersRanked = len(ranked)
 
 	p := opt.StopWindow
@@ -213,9 +466,13 @@ func Ranked(view FilterView, fetch Fetcher, terms []string, opt Options) ([]Scor
 		group = 1
 	}
 
+	contact := newContactor(fetch, terms, false, opt)
 	var top []ScoredDoc // sorted descending, truncated to K
-	seen := make(map[string]bool)
+	seen := make(map[string]bool, 4*opt.K)
 	noContrib := 0
+	// Scratch buffers reused across groups: peer ids and their responses.
+	ids := make([]directory.PeerID, 0, group)
+	results := make([]fetchResult, 0, group)
 
 	for i := 0; i < len(ranked); i += group {
 		end := i + group
@@ -224,14 +481,18 @@ func Ranked(view FilterView, fetch Fetcher, terms []string, opt Options) ([]Scor
 		}
 		st.StopIterations++
 		contributed := false
+		ids = ids[:0]
 		for _, pr := range ranked[i:end] {
-			docs, err := fetch.QueryPeer(pr.Peer, terms)
+			ids = append(ids, pr.Peer)
+		}
+		results = contact.group(ids, results)
+		for _, res := range results {
 			st.PeersContacted++
-			if err != nil {
+			if res.err != nil {
 				continue
 			}
-			st.DocsRetrieved += len(docs)
-			for _, d := range docs {
+			st.DocsRetrieved += len(res.docs)
+			for _, d := range res.docs {
 				if seen[d.Key] {
 					continue
 				}
@@ -290,36 +551,36 @@ func insertTopK(top *[]ScoredDoc, sd ScoredDoc, k int) bool {
 }
 
 // Exhaustive runs the conjunctive search of Section 5.1: Bloom filters
-// select the candidate peers (those whose filter contains every term);
-// each candidate is asked for its matching documents. Unreachable peers
-// are skipped. Results are sorted by document key. Only opt.Metrics is
-// consulted (exhaustive search has no k or stopping rule).
+// select the candidate peers (those whose filter contains every term,
+// probed with hash-once digests); each candidate is asked for its
+// matching documents, concurrently up to Options.Concurrency. Unreachable
+// peers are skipped. Results are sorted by document key.
 func Exhaustive(view FilterView, fetch Fetcher, terms []string, opt Options) ([]DocResult, Stats) {
 	var st Stats
 	if len(terms) == 0 {
 		return nil, st
 	}
+	q := newQuery(view, terms)
+	peers := view.Peers()
+	candidates := make([]directory.PeerID, 0, len(peers))
+	for _, id := range peers {
+		if q.containsAll(id) {
+			candidates = append(candidates, id)
+		}
+	}
+	st.PeersRanked = len(candidates)
+
+	contact := newContactor(fetch, terms, true, opt)
+	results := contact.group(candidates, make([]fetchResult, 0, len(candidates)))
 	var out []DocResult
-	seen := make(map[string]bool)
-	for _, id := range view.Peers() {
-		all := true
-		for _, t := range terms {
-			if !view.Contains(id, t) {
-				all = false
-				break
-			}
-		}
-		if !all {
-			continue
-		}
-		st.PeersRanked++
-		docs, err := fetch.QueryPeerAll(id, terms)
+	seen := make(map[string]bool, 2*len(candidates))
+	for _, res := range results {
 		st.PeersContacted++
-		if err != nil {
+		if res.err != nil {
 			continue
 		}
-		st.DocsRetrieved += len(docs)
-		for _, d := range docs {
+		st.DocsRetrieved += len(res.docs)
+		for _, d := range res.docs {
 			if !seen[d.Key] {
 				seen[d.Key] = true
 				out = append(out, d)

@@ -1,9 +1,23 @@
 #!/bin/sh
 # check.sh — the repo's pre-merge gate: vet, build, and race-enabled
 # tests for every package. Run from anywhere inside the repo.
+#
+#   scripts/check.sh        # full gate
+#   scripts/check.sh bench  # Table 1 + query fast-path benchmarks,
+#                           # results written to BENCH_query.json
 set -eu
 
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "bench" ]; then
+	BENCHTIME="${BENCHTIME:-0.5s}"
+	echo "== query benchmarks (benchtime ${BENCHTIME}) -> BENCH_query.json"
+	go test -run='^$' -bench='Table1|RankPeers|IPF|RankedAllocs|RankedGroup' \
+		-benchtime="$BENCHTIME" -benchmem -json . | tee BENCH_query.json |
+		grep -o '"Output":"Benchmark[^"]*' | sed 's/"Output":"//;s/\\t/\t/g;s/\\n$//' || true
+	echo "== bench OK"
+	exit 0
+fi
 
 echo "== go vet ./..."
 go vet ./...
