@@ -11,6 +11,7 @@
 //	gossipsim -exp fig5  [-n 2000]
 //	gossipsim -exp faults [-n 50] [-drop 0.25] [-dup 0] [-delay 0]
 //	          [-partition-at 0s] [-heal-at 0s] [-fault-seed 42]
+//	gossipsim -exp restart [-n 50] [-drop 0.25] [-fault-seed 42]
 package main
 
 import (
@@ -60,6 +61,13 @@ func main() {
 		fig5(*n, *seed)
 	case "faults":
 		faults(*n, gossipsim.FaultSpec{
+			Drop: *drop, Dup: *dup, Delay: *delay,
+			Partition:   *healAt > *partitionAt,
+			PartitionAt: *partitionAt, HealAt: *healAt,
+			Seed: *faultSeed,
+		}, *seed)
+	case "restart":
+		restart(*n, gossipsim.FaultSpec{
 			Drop: *drop, Dup: *dup, Delay: *delay,
 			Partition:   *healAt > *partitionAt,
 			PartitionAt: *partitionAt, HealAt: *healAt,
@@ -219,6 +227,26 @@ func faults(n int, spec gossipsim.FaultSpec, seed int64) {
 		r.Faults.Drops, r.Faults.Dups, r.Faults.Delays, r.Faults.DialFails,
 		r.Faults.PartitionBlocks, r.Faults.Messages)
 	summarize(reg, fmt.Sprintf("faults n=%d", n), n)
+}
+
+// restart: a peer crashes mid-gossip with a torn WAL record, recovers
+// from disk, and restarts at a superseding epoch through injected
+// network faults.
+func restart(n int, spec gossipsim.FaultSpec, seed int64) {
+	fmt.Println("# Restart: crash a peer mid-gossip (torn WAL), recover from disk, rejoin under faults")
+	fmt.Printf("# drop=%.2f dup=%.2f delay=%.2f fault_seed=%d seed=%d\n",
+		spec.Drop, spec.Dup, spec.Delay, spec.Seed, seed)
+	reg := metrics.NewRegistry()
+	sc := gossipsim.LAN
+	sc.Metrics = reg
+	r := gossipsim.RestartUnderFaults(sc, n, spec, seed)
+	fmt.Println("peers,converged,time_s,old_ver,new_ver,recovered_ops,truncated_records,stale_records,schedule_hash,drops,messages")
+	fmt.Printf("%d,%v,%.1f,%d.%d,%d.%d,%d,%d,%d,%016x,%d,%d\n",
+		n, r.Converged, r.Time.Seconds(),
+		r.OldVer.Epoch, r.OldVer.Seq, r.NewVer.Epoch, r.NewVer.Seq,
+		r.RecoveredOps, r.TruncatedRecords, r.StaleRecords,
+		r.ScheduleHash, r.Faults.Drops, r.Faults.Messages)
+	summarize(reg, fmt.Sprintf("restart n=%d", n), n)
 }
 
 // fig5: 2000-member dynamic community; MIX-F/MIX-S fast/slow-source

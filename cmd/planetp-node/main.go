@@ -26,6 +26,14 @@
 // Start with -restore <path> to resume a previous incarnation from a
 // snapshot (the new epoch supersedes the old one automatically). Queries
 // support the structured syntax tag:word when -structured is on.
+//
+// Start with -data <dir> for crash-safe durability: every publish and
+// remove is written to a checksummed write-ahead log before it returns,
+// folded into atomic snapshots, and replayed on the next start — no
+// operator-managed snapshot files or epoch counters needed. SIGINT and
+// SIGTERM shut the peer down gracefully (final snapshot, then exit); a
+// kill -9 loses at most the last unsynced append, which recovery
+// truncates and reports at the next start.
 package main
 
 import (
@@ -35,8 +43,10 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"planetp"
@@ -52,6 +62,7 @@ func main() {
 	slow := flag.Bool("slow", false, "mark this peer modem-class for bandwidth-aware gossip")
 	structured := flag.Bool("structured", false, "index terms scoped by XML element (tag:word queries)")
 	restore := flag.String("restore", "", "restore a previous incarnation from a snapshot file")
+	data := flag.String("data", "", "durable data directory (WAL + snapshots; recovers on restart)")
 	httpAddr := flag.String("http", "", "serve GET /debug/metrics on this address (\"\" = off)")
 	flag.Parse()
 
@@ -69,6 +80,13 @@ func main() {
 	if *slow {
 		class = planetp.Slow
 	}
+	// With a durable data dir the store drives incarnation numbers (the
+	// recovered epoch + 1 supersedes the dead incarnation); without one,
+	// fall back to a timestamp epoch.
+	epoch := uint32(time.Now().Unix() & 0x7fffffff)
+	if *data != "" {
+		epoch = 0
+	}
 	peer, err := planetp.NewPeer(planetp.Config{
 		ID:              planetp.PeerID(*id),
 		Name:            *name,
@@ -80,14 +98,18 @@ func main() {
 		BrokerTopFrac:   0.10,
 		BrokerDiscard:   10 * time.Minute,
 		StructuredIndex: *structured,
-		Epoch:           uint32(time.Now().Unix() & 0x7fffffff), // fresh incarnation
+		Epoch:           epoch,
 		Restore:         snapshot,
+		DataDir:         *data,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	defer peer.Stop()
+	if *data != "" {
+		fmt.Println(peer.Recovery())
+	}
 
 	fs, err := planetp.NewFS(peer)
 	if err != nil {
@@ -104,6 +126,18 @@ func main() {
 	}
 	peer.Start()
 	fmt.Printf("%s listening on %s (id %d)\n", peer.Name(), peer.Addr(), peer.ID())
+
+	// Graceful shutdown: stop gossiping, fold a final snapshot (when
+	// durable), close the transport, and exit.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigs
+		fmt.Printf("\n%v: shutting down\n", s)
+		fs.Close()
+		peer.Stop()
+		os.Exit(0)
+	}()
 
 	if *httpAddr != "" {
 		mux := http.NewServeMux()

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+
+	"planetp/internal/store"
+)
+
+// Durable peer state. When Config.DataDir is set, every Publish/Remove
+// is appended to a write-ahead log before the call returns, the log is
+// periodically folded into checksummed snapshots (temp + fsync + rename),
+// and NewPeer replays snapshot + WAL on startup. The recovered version
+// counters floor the restarted incarnation's epoch bump, so the
+// community discards everything the dead incarnation gossiped — the
+// paper's epoch-supersession requirement, now with something durable to
+// stand on.
+
+// RecoverySummary reports what a durable peer restored at startup
+// (planetp-node logs it; tests assert on it).
+type RecoverySummary struct {
+	// Enabled reports whether the peer runs with a durable store.
+	Enabled bool
+	// DocsRestored is how many documents recovery republished.
+	DocsRestored int
+	// OpsReplayed is how many WAL operations were replayed on top of the
+	// snapshot.
+	OpsReplayed int
+	// TruncatedRecords / TruncatedBytes count the torn WAL tail dropped.
+	TruncatedRecords int
+	TruncatedBytes   int64
+	// Quarantined lists unreadable files moved aside (never deleted).
+	Quarantined []string
+	// RecoveredEpoch and RecoveredSeq are the highest version counters
+	// found on disk; NewEpoch is what this incarnation announces.
+	RecoveredEpoch, RecoveredSeq uint32
+	NewEpoch                     uint32
+}
+
+// String renders the one-line startup log.
+func (r RecoverySummary) String() string {
+	if !r.Enabled {
+		return "durable store disabled"
+	}
+	s := fmt.Sprintf("recovered %d docs (%d WAL ops replayed), epoch %d -> %d",
+		r.DocsRestored, r.OpsReplayed, r.RecoveredEpoch, r.NewEpoch)
+	if r.TruncatedRecords > 0 {
+		s += fmt.Sprintf(", truncated %d torn record(s) / %d bytes", r.TruncatedRecords, r.TruncatedBytes)
+	}
+	if len(r.Quarantined) > 0 {
+		s += fmt.Sprintf(", quarantined %v", r.Quarantined)
+	}
+	return s
+}
+
+// Recovery returns what the durable store restored at startup (zero
+// value when DataDir is unset).
+func (p *Peer) Recovery() RecoverySummary { return p.recovery }
+
+// openStore mounts the durable store and computes the epoch floor. It
+// runs before the gossip node exists (the recovered epoch feeds the
+// node's initial record).
+func openStore(cfg *Config) (*store.Store, store.Recovery, error) {
+	so := cfg.Store
+	so.Dir = cfg.DataDir
+	so.Metrics = cfg.Metrics
+	st, rec, err := store.Open(so)
+	if err != nil {
+		return nil, store.Recovery{}, fmt.Errorf("core: opening data dir %s: %w", cfg.DataDir, err)
+	}
+	return st, rec, nil
+}
+
+// replayRecovery rebuilds the peer's documents from the recovered
+// snapshot and WAL suffix. It runs inside NewPeer, after the gossip node
+// exists but before Start, with p.replaying set so Publish/Remove do not
+// re-log the operations they replay.
+func (p *Peer) replayRecovery(rec store.Recovery) error {
+	p.replaying = true
+	defer func() { p.replaying = false }()
+
+	summary := RecoverySummary{
+		Enabled:          true,
+		TruncatedRecords: rec.TruncatedRecords,
+		TruncatedBytes:   rec.TruncatedBytes,
+		Quarantined:      rec.Quarantined,
+		RecoveredEpoch:   rec.Epoch,
+		RecoveredSeq:     rec.Seq,
+		NewEpoch:         p.node.SelfRecord().Ver.Epoch,
+	}
+	if rec.Snapshot != nil {
+		limit := p.cfg.Store.MaxSnapshotBytes
+		snap, err := DecodeSnapshotLimit(rec.Snapshot, limit)
+		if err != nil {
+			return fmt.Errorf("core: recovered snapshot: %w", err)
+		}
+		// Monotonicity validation: the checksummed store header records
+		// the version the writer captured; a payload claiming different
+		// counters is inconsistent and must not be adopted — it would
+		// undermine the epoch bump derived from the header.
+		if snap.Epoch != rec.SnapshotHeader.Epoch || snap.Seq != rec.SnapshotHeader.Seq {
+			return fmt.Errorf("core: snapshot payload version %d.%d disagrees with store header %d.%d",
+				snap.Epoch, snap.Seq, rec.SnapshotHeader.Epoch, rec.SnapshotHeader.Seq)
+		}
+		if err := p.restore(snap); err != nil {
+			return err
+		}
+	}
+	for _, op := range rec.Ops {
+		switch op.Kind {
+		case store.OpPublish:
+			if _, err := p.Publish(op.Data); err != nil {
+				return fmt.Errorf("core: replaying %v: %w", op, err)
+			}
+		case store.OpRemove:
+			// Removing a document the truncated tail published is a
+			// no-op, not an error — Remove is naturally idempotent.
+			p.Remove(op.Data)
+		}
+		summary.OpsReplayed++
+	}
+	summary.DocsRestored = p.LocalDocs()
+	p.recovery = summary
+	p.reg.Gauge("store_recovered_docs").Set(int64(summary.DocsRestored))
+	return nil
+}
+
+// snapshotSource feeds the store's compaction: a fresh full-state
+// snapshot plus the gossip version it captures.
+func (p *Peer) snapshotSource() ([]byte, uint32, uint32, error) {
+	data, err := p.Snapshot()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	ver := p.node.SelfRecord().Ver
+	return data, ver.Epoch, ver.Seq, nil
+}
+
+// logOp appends one operation to the WAL (no-op while replaying or when
+// the peer is not durable).
+func (p *Peer) logOp(kind store.OpKind, data string) error {
+	if p.st == nil || p.replaying {
+		return nil
+	}
+	ver := p.node.SelfRecord().Ver
+	_, err := p.st.Append(store.Op{Kind: kind, Data: data, Epoch: ver.Epoch, Seq: ver.Seq})
+	return err
+}
+
+// finalSnapshot folds the entire state into a snapshot at shutdown so
+// the next start replays no WAL (best-effort: a failure here still
+// leaves the synced WAL to recover from).
+func (p *Peer) finalSnapshot() {
+	if p.st == nil {
+		return
+	}
+	if data, epoch, seq, err := p.snapshotSource(); err == nil {
+		p.st.SaveSnapshot(data, epoch, seq)
+	}
+	p.st.Close()
+}

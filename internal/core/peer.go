@@ -20,6 +20,7 @@ import (
 	"planetp/internal/index"
 	"planetp/internal/metrics"
 	"planetp/internal/search"
+	"planetp/internal/store"
 	"planetp/internal/text"
 	"planetp/internal/transport"
 )
@@ -69,6 +70,19 @@ type Config struct {
 	// the stored documents are republished and the announced epoch
 	// supersedes the previous incarnation's.
 	Restore []byte
+	// DataDir, when non-empty, makes the peer crash-safe durable: every
+	// Publish/Remove is appended to a checksummed write-ahead log under
+	// this directory, periodically folded into atomic snapshots, and
+	// replayed on the next start. A restarted peer recovers its
+	// documents and automatically announces an epoch superseding
+	// everything its previous incarnation gossiped — no operator-managed
+	// snapshot files or epoch counters needed. See Peer.Recovery for the
+	// startup summary.
+	DataDir string
+	// Store fine-tunes the durable store (filesystem seam for fault
+	// injection, compaction threshold, fsync batching). Dir and Metrics
+	// are taken from DataDir and Metrics; only meaningful with DataDir.
+	Store store.Options
 	// Metrics receives the peer's counters across every layer (gossip,
 	// transport, broker, search). Nil gets a fresh registry, so
 	// Peer.Metrics() is always usable.
@@ -102,6 +116,13 @@ type Peer struct {
 	started     bool
 	closed      bool
 	searchesRun int
+
+	// Durable state (nil/zero unless Config.DataDir is set). replaying
+	// is only true inside NewPeer while recovery republishes logged
+	// operations; it suppresses re-logging them.
+	st        *store.Store
+	recovery  RecoverySummary
+	replaying bool
 }
 
 // remoteWatch is a brokerage watch registered by another peer.
@@ -168,7 +189,7 @@ func NewPeer(cfg Config) (*Peer, error) {
 	haveSnap := false
 	if cfg.Restore != nil {
 		var err error
-		snap, err = DecodeSnapshot(cfg.Restore)
+		snap, err = DecodeSnapshotLimit(cfg.Restore, cfg.Store.MaxSnapshotBytes)
 		if err != nil {
 			tp.Close()
 			return nil, err
@@ -177,6 +198,20 @@ func NewPeer(cfg Config) (*Peer, error) {
 		// snapshot.
 		epoch = max32(epoch, snap.Epoch+1)
 		haveSnap = true
+	}
+	var durableRec store.Recovery
+	if cfg.DataDir != "" {
+		st, rec, err := openStore(&cfg)
+		if err != nil {
+			tp.Close()
+			return nil, err
+		}
+		p.st = st
+		durableRec = rec
+		// The restarted incarnation must supersede everything the dead
+		// one could have gossiped: its durable version counters floor
+		// the epoch bump.
+		epoch = max32(epoch, rec.Epoch+1)
 	}
 	self := directory.Record{
 		ID: cfg.ID, Class: cfg.Class, Addr: tp.Addr(),
@@ -187,11 +222,27 @@ func NewPeer(cfg Config) (*Peer, error) {
 	p.node = gossip.NewNode(self, p.dir, gcfg, tp)
 	if haveSnap {
 		if err := p.restore(snap); err != nil {
-			tp.Close()
+			p.closeOnInitErr(tp)
 			return nil, err
 		}
 	}
+	if p.st != nil {
+		if err := p.replayRecovery(durableRec); err != nil {
+			p.closeOnInitErr(tp)
+			return nil, err
+		}
+		p.st.SetSnapshotSource(p.snapshotSource)
+	}
 	return p, nil
+}
+
+// closeOnInitErr releases partially constructed resources when NewPeer
+// fails after acquiring them.
+func (p *Peer) closeOnInitErr(tp *transport.Transport) {
+	tp.Close()
+	if p.st != nil {
+		p.st.Close()
+	}
 }
 
 // ID returns the peer's community id.
@@ -239,6 +290,9 @@ func (p *Peer) Stop() {
 	if started {
 		<-p.loopDone
 	}
+	// Durable peers fold their full state into a final snapshot so the
+	// next start replays nothing; the synced WAL covers a failure here.
+	p.finalSnapshot()
 	p.tp.Close()
 }
 
@@ -339,6 +393,11 @@ func (p *Peer) Publish(xml string) (*doc.Document, error) {
 	p.mu.Unlock()
 
 	p.node.Publish(len(diffBytes), len(payload), payload)
+	// Durable peers commit the operation to the WAL before returning:
+	// once Publish succeeds, a crash cannot lose the document.
+	if err := p.logOp(store.OpPublish, xml); err != nil {
+		return d, fmt.Errorf("core: publish logged in memory but not to disk: %w", err)
+	}
 
 	if p.cfg.BrokerTopFrac > 0 {
 		keys := topTerms(freqs, p.cfg.BrokerTopFrac)
@@ -389,8 +448,8 @@ func topTerms(freqs map[string]int, frac float64) []string {
 // stale the gossiped filter has become (see StaleFraction).
 func (p *Peer) Remove(docID string) bool {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if !p.store.Delete(docID) {
+		p.mu.Unlock()
 		return false
 	}
 	if id, ok := p.docOf[docID]; ok {
@@ -399,6 +458,13 @@ func (p *Peer) Remove(docID string) bool {
 		}
 		p.index.RemoveDocument(id)
 		delete(p.docOf, docID)
+	}
+	p.mu.Unlock()
+	// Remove keeps its boolean signature: a WAL failure here means the
+	// removal may resurrect after a crash (it re-runs as a harmless
+	// re-remove once the operator notices the counter and re-issues it).
+	if err := p.logOp(store.OpRemove, docID); err != nil {
+		p.reg.Counter("store_wal_append_errors_total").Inc()
 	}
 	return true
 }

@@ -362,6 +362,42 @@ func (p *Peer) GoOffline() {
 	}
 }
 
+// Restart models a full process restart from durable storage: unlike
+// GoOnline (which keeps the node's in-memory state), the peer comes back
+// with a FRESH gossip node and directory — everything it knew about the
+// community is gone, rebuilt only from the given bootstrap seeds. The
+// caller supplies the epoch recovered from disk (already bumped past the
+// dead incarnation); the new node announces itself like a joiner, so the
+// community's records of the old incarnation are superseded by epoch
+// ordering. The peer must be off-line when Restart is called.
+func (p *Peer) Restart(epoch uint32, diffSize, payloadSize int, seeds ...directory.PeerID) {
+	if p.online {
+		panic("simnet: Restart on an on-line peer")
+	}
+	s := p.sim
+	rec := directory.Record{
+		ID: p.ID, Ver: directory.Version{Epoch: epoch},
+		Class:       Class(p.Speed),
+		DiffSize:    int32(diffSize),
+		PayloadSize: int32(payloadSize),
+	}
+	dir := directory.New(p.ID, s.capacity)
+	for _, seed := range seeds {
+		if srec, ok := s.peers[seed].Node.Directory().Get(s.peers[seed].ID); ok {
+			dir.Upsert(srec)
+		}
+	}
+	p.Node = gossip.NewNode(rec, dir, s.cfg, p)
+	p.online = true
+	p.OnlineSince = s.now
+	p.linkBusyUntil = s.now
+	s.onlineCount++
+	if s.OnOnlineChange != nil {
+		s.OnOnlineChange(p, true)
+	}
+	p.scheduleTick(time.Duration(p.rng.Int63n(int64(time.Second))))
+}
+
 // GoOnline brings the peer back, announcing a rejoin (Epoch bump). If the
 // peer returns with new content, diffSize > 0 carries the new diff size.
 func (p *Peer) GoOnline(diffSize int) {

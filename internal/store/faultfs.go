@@ -1,0 +1,238 @@
+package store
+
+import "sync"
+
+// FaultFS wraps any FS with deterministic disk-fault injection — the
+// filesystem counterpart of internal/faultnet. Every mutating operation
+// (write, sync, create, rename, truncate) consumes one operation index;
+// CrashAt schedules a crash at a chosen index with a chosen failure
+// mode. After the crash point every operation fails with ErrCrashed and
+// has no effect, modeling a process that died mid-protocol. Combine with
+// MemFS.Crash to additionally lose unsynced data, then reopen the store
+// on the bare inner FS to exercise recovery.
+//
+// Enumerating every operation index of a workload (see Ops) and crashing
+// at each one in turn is the crash-point suite: recovery must restore a
+// consistent pre- or post-operation state from every possible crash.
+type FaultFS struct {
+	inner FS
+	seed  int64
+
+	mu      sync.Mutex
+	ops     int64
+	crashAt int64
+	mode    CrashMode
+	crashed bool
+}
+
+// CrashMode selects how the scheduled operation fails.
+type CrashMode uint8
+
+const (
+	// CrashStop fails the operation before it does anything.
+	CrashStop CrashMode = iota
+	// CrashTorn applies to a write: a seeded-length prefix of the buffer
+	// reaches the file, then the process dies.
+	CrashTorn
+	// CrashShort applies to a write: all but the final byte reaches the
+	// file — the classic one-byte-short torn tail.
+	CrashShort
+	// CrashFsyncFail applies to a sync: the data stays volatile and the
+	// sync call errors, then the process dies.
+	CrashFsyncFail
+)
+
+// String names the mode for test output.
+func (m CrashMode) String() string {
+	switch m {
+	case CrashStop:
+		return "stop"
+	case CrashTorn:
+		return "torn"
+	case CrashShort:
+		return "short"
+	case CrashFsyncFail:
+		return "fsync-fail"
+	}
+	return "unknown"
+}
+
+// errCrashed is the sentinel every post-crash operation returns.
+type errCrashedT struct{}
+
+func (errCrashedT) Error() string { return "store: injected crash" }
+
+// ErrCrashed is returned by every FaultFS operation at and after the
+// injected crash point.
+var ErrCrashed error = errCrashedT{}
+
+// NewFaultFS wraps inner. seed drives torn-write cut lengths.
+func NewFaultFS(inner FS, seed int64) *FaultFS {
+	return &FaultFS{inner: inner, seed: seed, crashAt: -1}
+}
+
+// CrashAt schedules a crash at operation index op (0-based over all
+// counted operations) with the given mode. Pass op < 0 to disarm.
+func (f *FaultFS) CrashAt(op int64, mode CrashMode) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAt = op
+	f.mode = mode
+}
+
+// Ops returns how many operations have been counted so far (run a
+// workload once with no crash scheduled to learn its operation count).
+func (f *FaultFS) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether the scheduled crash has fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// step consumes one operation index and returns the mode to inject for
+// this operation (ok=false means proceed normally).
+func (f *FaultFS) step() (CrashMode, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return CrashStop, true
+	}
+	op := f.ops
+	f.ops++
+	if f.crashAt >= 0 && op == f.crashAt {
+		f.crashed = true
+		return f.mode, true
+	}
+	return 0, false
+}
+
+// tornCut picks the seeded prefix length for a torn write.
+func (f *FaultFS) tornCut(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	f.mu.Lock()
+	op := f.ops
+	f.mu.Unlock()
+	return int(mix64(uint64(f.seed)^mix64(uint64(op))) % uint64(n))
+}
+
+// MkdirAll implements FS (not counted: metadata-only, crash-irrelevant).
+func (f *FaultFS) MkdirAll(path string) error {
+	if f.Crashed() {
+		return ErrCrashed
+	}
+	return f.inner.MkdirAll(path)
+}
+
+// Create implements FS.
+func (f *FaultFS) Create(name string) (File, error) {
+	if _, inject := f.step(); inject {
+		return nil, ErrCrashed
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+// OpenAppend implements FS.
+func (f *FaultFS) OpenAppend(name string) (File, error) {
+	if _, inject := f.step(); inject {
+		return nil, ErrCrashed
+	}
+	file, err := f.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+// ReadFile implements FS (reads are not counted; a crashed process
+// cannot read at all).
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if f.Crashed() {
+		return nil, ErrCrashed
+	}
+	return f.inner.ReadFile(name)
+}
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldname, newname string) error {
+	if _, inject := f.step(); inject {
+		return ErrCrashed
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
+// Truncate implements FS.
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if _, inject := f.step(); inject {
+		return ErrCrashed
+	}
+	return f.inner.Truncate(name, size)
+}
+
+// Size implements FS (not counted).
+func (f *FaultFS) Size(name string) (int64, error) {
+	if f.Crashed() {
+		return 0, ErrCrashed
+	}
+	return f.inner.Size(name)
+}
+
+// SyncDir implements FS.
+func (f *FaultFS) SyncDir(dir string) error {
+	if _, inject := f.step(); inject {
+		return ErrCrashed
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile wraps a File, injecting per-operation faults.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+// Write implements File.
+func (ff *faultFile) Write(p []byte) (int, error) {
+	mode, inject := ff.fs.step()
+	if !inject {
+		return ff.inner.Write(p)
+	}
+	switch mode {
+	case CrashTorn:
+		cut := ff.fs.tornCut(len(p))
+		if cut > 0 {
+			ff.inner.Write(p[:cut])
+		}
+	case CrashShort:
+		if len(p) > 1 {
+			ff.inner.Write(p[:len(p)-1])
+		}
+	}
+	return 0, ErrCrashed
+}
+
+// Sync implements File.
+func (ff *faultFile) Sync() error {
+	mode, inject := ff.fs.step()
+	if !inject {
+		return ff.inner.Sync()
+	}
+	// CrashFsyncFail and every other mode at a sync point: the data
+	// stays volatile and the process dies.
+	_ = mode
+	return ErrCrashed
+}
+
+// Close implements File (not counted; closing is crash-equivalent).
+func (ff *faultFile) Close() error { return ff.inner.Close() }

@@ -1,0 +1,522 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path"
+	"sync"
+
+	"planetp/internal/metrics"
+)
+
+// File names within the store directory.
+const (
+	walName      = "wal.ppl"
+	walTmpName   = "wal.ppl.tmp"
+	snapName     = "snapshot.pps"
+	snapPrevName = "snapshot.pps.prev"
+	snapTmpName  = "snapshot.pps.tmp"
+	quarDir      = "quarantine"
+)
+
+// Options parameterizes a Store.
+type Options struct {
+	// Dir is the store directory (created if missing).
+	Dir string
+	// FS is the filesystem seam (nil = the operating system). Tests
+	// mount MemFS/FaultFS here for deterministic disk-fault injection.
+	FS FS
+	// CompactBytes is the WAL size that triggers folding the log into a
+	// fresh snapshot (default 1 MiB; requires a snapshot source).
+	CompactBytes int64
+	// SyncEvery batches fsyncs: 1 (default) syncs every append —
+	// fsync-on-commit; N > 1 syncs every Nth append, trading the tail of
+	// unsynced operations on crash for fewer disk flushes.
+	SyncEvery int
+	// MaxRecordBytes bounds a WAL record's payload (default 16 MiB);
+	// larger length prefixes are treated as corruption.
+	MaxRecordBytes int
+	// MaxSnapshotBytes bounds a snapshot payload read at recovery
+	// (default 256 MiB); anything larger is treated as corruption.
+	MaxSnapshotBytes int64
+	// Metrics receives the store_* counters (nil = none).
+	Metrics *metrics.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.FS == nil {
+		o.FS = OSFS{}
+	}
+	if o.CompactBytes <= 0 {
+		o.CompactBytes = 1 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 1
+	}
+	if o.MaxRecordBytes <= 0 {
+		o.MaxRecordBytes = 16 << 20
+	}
+	if o.MaxSnapshotBytes <= 0 {
+		o.MaxSnapshotBytes = 256 << 20
+	}
+	return o
+}
+
+// Recovery is what Open reconstructed from disk. The caller replays
+// Snapshot (decode + restore) and then Ops, in order, to rebuild its
+// state, and must announce itself with an epoch strictly greater than
+// Epoch — the recovered counters are the highest the dead incarnation
+// could have gossiped.
+type Recovery struct {
+	// Snapshot is the latest readable snapshot payload (nil if none).
+	Snapshot []byte
+	// SnapshotHeader holds the snapshot's durable version counters
+	// (zero if Snapshot is nil).
+	SnapshotHeader Header
+	// Ops is the WAL suffix after the snapshot (LSN > SnapshotHeader.LSN),
+	// in append order.
+	Ops []Op
+	// Epoch and Seq are the highest version counters found anywhere in
+	// the store — the floor for the restarted incarnation's epoch bump.
+	Epoch, Seq uint32
+	// TruncatedRecords counts torn/corrupt WAL tails dropped (one per
+	// truncation: framing past the first bad record is unreliable).
+	TruncatedRecords int
+	// TruncatedBytes counts the bytes those truncations discarded.
+	TruncatedBytes int64
+	// Quarantined lists files moved aside as unreadable (never deleted),
+	// relative to the store directory.
+	Quarantined []string
+	// UsedFallback reports that the previous snapshot was used because
+	// the current one was missing or corrupt.
+	UsedFallback bool
+}
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Store is a live crash-safe persistence handle: an open WAL plus the
+// snapshot protocol. Safe for concurrent use.
+type Store struct {
+	opts Options
+	fsys FS
+
+	mu          sync.Mutex
+	wal         File
+	walBytes    int64
+	nextLSN     uint64
+	snapLSN     uint64 // WAL position the current snapshot folds through
+	unsynced    int    // appends since the last fsync
+	lastVer     [2]uint32
+	closed      bool
+	compacting  bool
+	snapshotSrc func() (payload []byte, epoch, seq uint32, err error)
+
+	m storeMetrics
+}
+
+type storeMetrics struct {
+	appends, fsyncs, snapshots, compactions *metrics.Counter
+	truncRecords, truncBytes, quarantined   *metrics.Counter
+}
+
+// Open mounts (or initializes) the store under opts.Dir and performs
+// recovery: it reads the newest readable snapshot (falling back to the
+// previous one, quarantining corrupt files aside), replays the WAL up to
+// the first torn or corrupt record, truncates the tear, and returns
+// everything the caller needs to rebuild its state and supersede its
+// previous incarnation.
+func Open(opts Options) (*Store, Recovery, error) {
+	opts = opts.withDefaults()
+	s := &Store{
+		opts: opts,
+		fsys: opts.FS,
+		m: storeMetrics{
+			appends:      opts.Metrics.Counter("store_wal_appends_total"),
+			fsyncs:       opts.Metrics.Counter("store_fsyncs_total"),
+			snapshots:    opts.Metrics.Counter("store_snapshots_total"),
+			compactions:  opts.Metrics.Counter("store_compactions_total"),
+			truncRecords: opts.Metrics.Counter("store_recovery_truncated_records_total"),
+			truncBytes:   opts.Metrics.Counter("store_recovery_truncated_bytes_total"),
+			quarantined:  opts.Metrics.Counter("store_quarantined_files_total"),
+		},
+	}
+	if err := s.fsys.MkdirAll(opts.Dir); err != nil {
+		return nil, Recovery{}, fmt.Errorf("store: mkdir %s: %w", opts.Dir, err)
+	}
+	var rec Recovery
+	if err := s.recoverSnapshot(&rec); err != nil {
+		return nil, Recovery{}, err
+	}
+	if err := s.recoverWAL(&rec); err != nil {
+		return nil, Recovery{}, err
+	}
+	// The recovered version floor: snapshot counters, then any newer op.
+	rec.Epoch, rec.Seq = rec.SnapshotHeader.Epoch, rec.SnapshotHeader.Seq
+	for _, op := range rec.Ops {
+		if verLess(rec.Epoch, rec.Seq, op.Epoch, op.Seq) {
+			rec.Epoch, rec.Seq = op.Epoch, op.Seq
+		}
+	}
+	s.lastVer = [2]uint32{rec.Epoch, rec.Seq}
+	s.m.truncRecords.Add(int64(rec.TruncatedRecords))
+	s.m.truncBytes.Add(rec.TruncatedBytes)
+	s.m.quarantined.Add(int64(len(rec.Quarantined)))
+	return s, rec, nil
+}
+
+// verLess orders (epoch, seq) pairs like directory.Version.
+func verLess(e1, s1, e2, s2 uint32) bool {
+	if e1 != e2 {
+		return e1 < e2
+	}
+	return s1 < s2
+}
+
+// recoverSnapshot loads the newest readable snapshot into rec,
+// quarantining corrupt files and falling back to the previous snapshot.
+func (s *Store) recoverSnapshot(rec *Recovery) error {
+	for i, name := range []string{snapName, snapPrevName} {
+		data, err := s.fsys.ReadFile(join(s.opts.Dir, name))
+		if errors.Is(err, fs.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("store: reading %s: %w", name, err)
+		}
+		hdr, payload, derr := decodeSnapshot(data, s.opts.MaxSnapshotBytes)
+		if derr != nil {
+			q, qerr := s.quarantine(name)
+			if qerr != nil {
+				return qerr
+			}
+			rec.Quarantined = append(rec.Quarantined, q)
+			continue
+		}
+		rec.Snapshot = payload
+		rec.SnapshotHeader = hdr
+		rec.UsedFallback = i > 0 || len(rec.Quarantined) > 0
+		s.snapLSN = hdr.LSN
+		return nil
+	}
+	// Also quarantine a leftover temp snapshot? No: a stale temp file is
+	// a normal artifact of a crash mid-snapshot; the next snapshot
+	// overwrites it. Leaving it costs nothing and deletes nothing.
+	return nil
+}
+
+// recoverWAL replays the log, truncates at the first tear, filters ops
+// already folded into the snapshot, and leaves the store ready to append.
+func (s *Store) recoverWAL(rec *Recovery) error {
+	walPath := join(s.opts.Dir, walName)
+	data, err := s.fsys.ReadFile(walPath)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		return s.freshWAL()
+	case err != nil:
+		return fmt.Errorf("store: reading %s: %w", walName, err)
+	}
+	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != string(walMagic) {
+		// The whole file is unreadable (lost or foreign header):
+		// quarantine it and start a fresh log. Its bytes count as
+		// truncated — they carried an unknown number of records.
+		if len(data) > 0 {
+			q, qerr := s.quarantine(walName)
+			if qerr != nil {
+				return qerr
+			}
+			rec.Quarantined = append(rec.Quarantined, q)
+			rec.TruncatedRecords++
+			rec.TruncatedBytes += int64(len(data))
+		}
+		return s.freshWAL()
+	}
+	body := data[len(walMagic):]
+	ops, validEnd, dropped := scanWAL(body, s.opts.MaxRecordBytes, 0)
+	if dropped > 0 {
+		rec.TruncatedRecords++
+		rec.TruncatedBytes += int64(dropped)
+		if err := s.fsys.Truncate(walPath, int64(len(walMagic)+validEnd)); err != nil {
+			return fmt.Errorf("store: truncating torn WAL: %w", err)
+		}
+	}
+	// Ops already folded into the snapshot (a crash between the snapshot
+	// rename and the WAL rotation leaves them behind) replay as no-ops —
+	// skip them by LSN.
+	for _, op := range ops {
+		if op.LSN > s.snapLSN {
+			rec.Ops = append(rec.Ops, op)
+		}
+		if op.LSN >= s.nextLSN {
+			s.nextLSN = op.LSN + 1
+		}
+	}
+	if s.snapLSN >= s.nextLSN {
+		s.nextLSN = s.snapLSN + 1
+	}
+	wal, err := s.fsys.OpenAppend(walPath)
+	if err != nil {
+		return fmt.Errorf("store: opening WAL: %w", err)
+	}
+	s.wal = wal
+	s.walBytes = int64(len(walMagic) + validEnd)
+	return nil
+}
+
+// freshWAL creates an empty log (magic only) and syncs it.
+func (s *Store) freshWAL() error {
+	wal, err := s.fsys.Create(join(s.opts.Dir, walName))
+	if err != nil {
+		return fmt.Errorf("store: creating WAL: %w", err)
+	}
+	if _, err := wal.Write(walMagic); err != nil {
+		wal.Close()
+		return fmt.Errorf("store: writing WAL header: %w", err)
+	}
+	if err := wal.Sync(); err != nil {
+		wal.Close()
+		return fmt.Errorf("store: syncing WAL header: %w", err)
+	}
+	s.wal = wal
+	s.walBytes = int64(len(walMagic))
+	if s.nextLSN <= s.snapLSN {
+		s.nextLSN = s.snapLSN + 1
+	}
+	if s.nextLSN == 0 {
+		s.nextLSN = 1
+	}
+	return nil
+}
+
+// quarantine moves an unreadable file aside (never deletes it) and
+// returns its new name relative to the store directory.
+func (s *Store) quarantine(name string) (string, error) {
+	if err := s.fsys.MkdirAll(join(s.opts.Dir, quarDir)); err != nil {
+		return "", fmt.Errorf("store: mkdir quarantine: %w", err)
+	}
+	for i := 0; ; i++ {
+		q := path.Join(quarDir, fmt.Sprintf("%s.%d", name, i))
+		if _, err := s.fsys.Size(join(s.opts.Dir, q)); errors.Is(err, fs.ErrNotExist) {
+			if err := s.fsys.Rename(join(s.opts.Dir, name), join(s.opts.Dir, q)); err != nil {
+				return "", fmt.Errorf("store: quarantining %s: %w", name, err)
+			}
+			return q, nil
+		}
+	}
+}
+
+// SetSnapshotSource installs the callback compaction uses to produce a
+// fresh full-state snapshot (payload plus the gossip version it
+// captures). Without a source the WAL grows unboundedly but the store
+// still works.
+func (s *Store) SetSnapshotSource(fn func() (payload []byte, epoch, seq uint32, err error)) {
+	s.mu.Lock()
+	s.snapshotSrc = fn
+	s.mu.Unlock()
+}
+
+// Append logs one operation and (per SyncEvery) fsyncs it. It assigns
+// and returns the operation's LSN. When the WAL passes the compaction
+// threshold and a snapshot source is installed, the log is folded into a
+// fresh snapshot before Append returns.
+func (s *Store) Append(op Op) (uint64, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	op.LSN = s.nextLSN
+	buf := encodeRecord(op)
+	if _, err := s.wal.Write(buf); err != nil {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("store: wal append: %w", err)
+	}
+	s.nextLSN++
+	s.walBytes += int64(len(buf))
+	s.unsynced++
+	if verLess(s.lastVer[0], s.lastVer[1], op.Epoch, op.Seq) {
+		s.lastVer = [2]uint32{op.Epoch, op.Seq}
+	}
+	if s.unsynced >= s.opts.SyncEvery {
+		if err := s.wal.Sync(); err != nil {
+			s.mu.Unlock()
+			return 0, fmt.Errorf("store: wal fsync: %w", err)
+		}
+		s.unsynced = 0
+		s.m.fsyncs.Inc()
+	}
+	lsn := op.LSN
+	src := s.snapshotSrc
+	needCompact := s.walBytes >= s.opts.CompactBytes && src != nil && !s.compacting
+	if needCompact {
+		s.compacting = true
+	}
+	s.mu.Unlock()
+	s.m.appends.Inc()
+
+	if needCompact {
+		err := s.compact(src)
+		s.mu.Lock()
+		s.compacting = false
+		s.mu.Unlock()
+		if err != nil {
+			return lsn, fmt.Errorf("store: compaction: %w", err)
+		}
+	}
+	return lsn, nil
+}
+
+// Sync forces any batched appends to disk (a commit barrier for callers
+// using SyncEvery > 1).
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.unsynced == 0 {
+		return nil
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("store: wal fsync: %w", err)
+	}
+	s.unsynced = 0
+	s.m.fsyncs.Inc()
+	return nil
+}
+
+// compact asks the source for a fresh snapshot and saves it (which also
+// rotates the WAL).
+func (s *Store) compact(src func() ([]byte, uint32, uint32, error)) error {
+	payload, epoch, seq, err := src()
+	if err != nil {
+		return err
+	}
+	if err := s.SaveSnapshot(payload, epoch, seq); err != nil {
+		return err
+	}
+	s.m.compactions.Inc()
+	return nil
+}
+
+// SaveSnapshot atomically replaces the on-disk snapshot with payload
+// (temp file + fsync + rename, previous snapshot kept as fallback) and
+// rotates the WAL: every operation logged so far is folded in, so the
+// log restarts empty. epoch/seq are the gossip version the payload
+// captures.
+func (s *Store) SaveSnapshot(payload []byte, epoch, seq uint32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	// Catch up any batched appends first: the snapshot folds through
+	// nextLSN-1, so those records must be durable before the snapshot
+	// can supersede them.
+	if s.unsynced > 0 {
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("store: wal fsync: %w", err)
+		}
+		s.unsynced = 0
+		s.m.fsyncs.Inc()
+	}
+	hdr := Header{Epoch: epoch, Seq: seq, LSN: s.nextLSN - 1}
+	img := encodeSnapshot(hdr, payload)
+
+	dir := s.opts.Dir
+	tmp, err := s.fsys.Create(join(dir, snapTmpName))
+	if err != nil {
+		return fmt.Errorf("store: creating snapshot temp: %w", err)
+	}
+	if _, err := tmp.Write(img); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: syncing snapshot: %w", err)
+	}
+	tmp.Close()
+	// Keep the displaced snapshot as the fallback generation.
+	if _, err := s.fsys.Size(join(dir, snapName)); err == nil {
+		if err := s.fsys.Rename(join(dir, snapName), join(dir, snapPrevName)); err != nil {
+			return fmt.Errorf("store: rotating previous snapshot: %w", err)
+		}
+	}
+	if err := s.fsys.Rename(join(dir, snapTmpName), join(dir, snapName)); err != nil {
+		return fmt.Errorf("store: installing snapshot: %w", err)
+	}
+	if err := s.fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("store: syncing dir: %w", err)
+	}
+	s.snapLSN = hdr.LSN
+	s.m.snapshots.Inc()
+
+	// Rotate the WAL: build the fresh (empty) log aside, sync, rename
+	// over. A crash anywhere here leaves either the old log (its ops
+	// replay as no-ops past the snapshot's LSN) or the new empty one.
+	nw, err := s.fsys.Create(join(dir, walTmpName))
+	if err != nil {
+		return fmt.Errorf("store: creating fresh WAL: %w", err)
+	}
+	if _, err := nw.Write(walMagic); err != nil {
+		nw.Close()
+		return fmt.Errorf("store: writing fresh WAL header: %w", err)
+	}
+	if err := nw.Sync(); err != nil {
+		nw.Close()
+		return fmt.Errorf("store: syncing fresh WAL header: %w", err)
+	}
+	if err := s.fsys.Rename(join(dir, walTmpName), join(dir, walName)); err != nil {
+		nw.Close()
+		return fmt.Errorf("store: installing fresh WAL: %w", err)
+	}
+	if err := s.fsys.SyncDir(dir); err != nil {
+		nw.Close()
+		return fmt.Errorf("store: syncing dir: %w", err)
+	}
+	s.wal.Close()
+	s.wal = nw
+	s.walBytes = int64(len(walMagic))
+	s.unsynced = 0
+	return nil
+}
+
+// WALSize returns the current log size in bytes.
+func (s *Store) WALSize() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walBytes
+}
+
+// LastVersion returns the highest (epoch, seq) the store has durably
+// recorded — the version floor a restarted incarnation must exceed.
+func (s *Store) LastVersion() (epoch, seq uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastVer[0], s.lastVer[1]
+}
+
+// Close flushes batched appends and releases the log. It does not write
+// a final snapshot — callers wanting one call SaveSnapshot first (see
+// core.Peer.Stop).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.unsynced > 0 {
+		err = s.wal.Sync()
+		if err == nil {
+			s.m.fsyncs.Inc()
+		}
+	}
+	if cerr := s.wal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

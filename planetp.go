@@ -93,6 +93,10 @@ type SemanticDir = pfs.Dir
 // Snapshot is a peer's durable state for restarts.
 type Snapshot = core.Snapshot
 
+// RecoverySummary reports what a durable peer (Config.DataDir) restored
+// at startup; see Peer.Recovery.
+type RecoverySummary = core.RecoverySummary
+
 // MetricsRegistry collects a peer's counters, gauges, and histograms
 // across every layer; Peer.Metrics() returns one (never nil). A nil
 // registry is safe everywhere and disables instrumentation.

@@ -28,6 +28,14 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# Crash-recovery smoke: enumerate every disk crash point in the durable
+# store's append/fsync/rename pipeline plus the full peer crash/restart
+# cycle (already part of the suite above; rerun by name so a regression
+# here is called out explicitly).
+echo "== crash-recovery smoke"
+go test -race -run 'CrashPoint|Durable|RestartUnderFaults' \
+	./internal/store/ ./internal/core/ ./internal/gossipsim/
+
 # Fuzz smoke: run every fuzz target briefly. Go allows only one -fuzz
 # pattern per invocation, so iterate target by target; -run='^$' skips
 # the unit tests already covered above.
@@ -39,5 +47,6 @@ go test -run='^$' -fuzz=FuzzDecompress -fuzztime="$FUZZTIME" ./internal/bloom/
 go test -run='^$' -fuzz=FuzzDecodeDiff -fuzztime="$FUZZTIME" ./internal/bloom/
 go test -run='^$' -fuzz=FuzzCompressRoundTrip -fuzztime="$FUZZTIME" ./internal/bloom/
 go test -run='^$' -fuzz=FuzzEnvelopeDecode -fuzztime="$FUZZTIME" ./internal/transport/
+go test -run='^$' -fuzz=FuzzWALRecord -fuzztime="$FUZZTIME" ./internal/store/
 
 echo "== OK"
