@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"planetp/internal/directory"
 	"planetp/internal/store"
 )
 
@@ -125,25 +126,55 @@ func (p *Peer) replayRecovery(rec store.Recovery) error {
 }
 
 // snapshotSource feeds the store's compaction: a fresh full-state
-// snapshot plus the gossip version it captures.
-func (p *Peer) snapshotSource() ([]byte, uint32, uint32, error) {
-	data, err := p.Snapshot()
-	if err != nil {
-		return nil, 0, 0, err
-	}
+// snapshot, the gossip version it captures, and the WAL position it
+// folds through. Payload and fold LSN are captured under p.mu — the
+// same lock every WAL append holds — so an op is in the payload if and
+// only if its LSN is at or below FoldLSN; a Publish racing with
+// compaction can never be stamped as folded in without being in the
+// snapshot.
+func (p *Peer) snapshotSource() (store.SnapshotData, error) {
 	ver := p.node.SelfRecord().Ver
-	return data, ver.Epoch, ver.Seq, nil
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	payload, err := p.encodeSnapshot(ver)
+	if err != nil {
+		return store.SnapshotData{}, err
+	}
+	return store.SnapshotData{
+		Payload: payload,
+		Epoch:   ver.Epoch,
+		Seq:     ver.Seq,
+		FoldLSN: p.st.LastLSN(),
+	}, nil
 }
 
 // logOp appends one operation to the WAL (no-op while replaying or when
-// the peer is not durable).
-func (p *Peer) logOp(kind store.OpKind, data string) error {
+// the peer is not durable). The caller holds p.mu and appends BEFORE
+// applying the operation in memory — write-ahead — so WAL order always
+// matches in-memory apply order (a concurrent Remove/Publish of the
+// same document can never replay in the opposite order), and a failed
+// append leaves the peer unchanged.
+func (p *Peer) logOp(kind store.OpKind, data string, ver directory.Version) error {
 	if p.st == nil || p.replaying {
 		return nil
 	}
-	ver := p.node.SelfRecord().Ver
 	_, err := p.st.Append(store.Op{Kind: kind, Data: data, Epoch: ver.Epoch, Seq: ver.Seq})
 	return err
+}
+
+// maybeCompact folds the WAL into a snapshot once it passes the size
+// threshold. Called after p.mu is released (the snapshot source
+// re-takes it). A compaction failure never fails the operation that
+// triggered it — the record is already durably committed; the WAL just
+// keeps growing until a later compaction succeeds — so it is only
+// counted.
+func (p *Peer) maybeCompact() {
+	if p.st == nil || p.replaying {
+		return
+	}
+	if err := p.st.MaybeCompact(); err != nil {
+		p.reg.Counter("store_compaction_errors_total").Inc()
+	}
 }
 
 // finalSnapshot folds the entire state into a snapshot at shutdown so
@@ -153,8 +184,8 @@ func (p *Peer) finalSnapshot() {
 	if p.st == nil {
 		return
 	}
-	if data, epoch, seq, err := p.snapshotSource(); err == nil {
-		p.st.SaveSnapshot(data, epoch, seq)
+	if data, err := p.snapshotSource(); err == nil {
+		p.st.SaveSnapshot(data)
 	}
 	p.st.Close()
 }

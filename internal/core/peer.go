@@ -368,11 +368,22 @@ func (p *Peer) Publish(xml string) (*doc.Document, error) {
 	if len(freqs) == 0 {
 		return nil, errors.New("core: document has no indexable terms")
 	}
+	ver := p.selfVer()
 	p.mu.Lock()
-	if !p.store.Put(d) {
+	if _, err := p.store.Get(d.ID); err == nil {
 		p.mu.Unlock()
 		return d, nil // idempotent republish
 	}
+	// Durable peers commit the operation to the WAL write-ahead, inside
+	// the same critical section that applies it: WAL order matches apply
+	// order, and a failed append leaves the peer completely unchanged —
+	// once Publish succeeds, a crash cannot lose the document; when it
+	// fails, nothing was stored, indexed, or gossiped.
+	if err := p.logOp(store.OpPublish, xml, ver); err != nil {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("core: publish not committed to WAL: %w", err)
+	}
+	p.store.Put(d)
 	p.docOf[d.ID] = p.index.AddTermFreqs(freqs)
 	for t := range freqs {
 		p.filter.Insert(t)
@@ -393,11 +404,7 @@ func (p *Peer) Publish(xml string) (*doc.Document, error) {
 	p.mu.Unlock()
 
 	p.node.Publish(len(diffBytes), len(payload), payload)
-	// Durable peers commit the operation to the WAL before returning:
-	// once Publish succeeds, a crash cannot lose the document.
-	if err := p.logOp(store.OpPublish, xml); err != nil {
-		return d, fmt.Errorf("core: publish logged in memory but not to disk: %w", err)
-	}
+	p.maybeCompact()
 
 	if p.cfg.BrokerTopFrac > 0 {
 		keys := topTerms(freqs, p.cfg.BrokerTopFrac)
@@ -408,6 +415,18 @@ func (p *Peer) Publish(xml string) (*doc.Document, error) {
 		p.brokerPublish(broker.Snippet{ID: d.ID, Owner: int32(p.id), XML: xml, Keys: keys}, discard)
 	}
 	return d, nil
+}
+
+// selfVer reads the peer's current gossip version for stamping WAL
+// records. It is read before taking p.mu so the gossip node's internal
+// lock is never acquired under the peer mutex; the slight staleness is
+// harmless — record versions only floor the restart epoch bump, and the
+// bump raises the epoch past any seq within it.
+func (p *Peer) selfVer() directory.Version {
+	if p.st == nil || p.replaying {
+		return directory.Version{}
+	}
+	return p.node.SelfRecord().Ver
 }
 
 // topTerms returns the ceil(frac * |terms|) most frequent terms (at least
@@ -447,11 +466,23 @@ func topTerms(freqs map[string]int, frac float64) []string {
 // until Compact rebuilds the filter. A counting twin tracks exactly how
 // stale the gossiped filter has become (see StaleFraction).
 func (p *Peer) Remove(docID string) bool {
+	ver := p.selfVer()
 	p.mu.Lock()
-	if !p.store.Delete(docID) {
+	if _, err := p.store.Get(docID); err != nil {
 		p.mu.Unlock()
 		return false
 	}
+	// Write-ahead, like Publish: a WAL failure means the removal is NOT
+	// applied — the document stays, the caller sees false, and memory,
+	// disk, and gossip remain consistent (no removal that silently
+	// resurrects after a crash). The failure is counted so operators can
+	// spot a sick disk.
+	if err := p.logOp(store.OpRemove, docID, ver); err != nil {
+		p.mu.Unlock()
+		p.reg.Counter("store_wal_append_errors_total").Inc()
+		return false
+	}
+	p.store.Delete(docID)
 	if id, ok := p.docOf[docID]; ok {
 		for _, t := range p.index.DocTerms(id) {
 			p.counting.Remove(t)
@@ -460,12 +491,7 @@ func (p *Peer) Remove(docID string) bool {
 		delete(p.docOf, docID)
 	}
 	p.mu.Unlock()
-	// Remove keeps its boolean signature: a WAL failure here means the
-	// removal may resurrect after a crash (it re-runs as a harmless
-	// re-remove once the operator notices the counter and re-issues it).
-	if err := p.logOp(store.OpRemove, docID); err != nil {
-		p.reg.Counter("store_wal_append_errors_total").Inc()
-	}
+	p.maybeCompact()
 	return true
 }
 

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+
+	"planetp/internal/directory"
 )
 
 // Snapshot is a peer's durable state: everything needed to restart with
@@ -22,8 +24,18 @@ type Snapshot struct {
 
 // Snapshot serializes the peer's durable state.
 func (p *Peer) Snapshot() ([]byte, error) {
-	rec := p.node.SelfRecord()
-	snap := Snapshot{ID: int32(p.id), Epoch: rec.Ver.Epoch, Seq: rec.Ver.Seq}
+	ver := p.node.SelfRecord().Ver
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.encodeSnapshot(ver)
+}
+
+// encodeSnapshot gob-encodes the peer's durable state at the given
+// version. The caller holds p.mu, so the document set is a consistent
+// cut with respect to Publish/Remove (and, for durable peers, with the
+// WAL append order — see snapshotSource).
+func (p *Peer) encodeSnapshot(ver directory.Version) ([]byte, error) {
+	snap := Snapshot{ID: int32(p.id), Epoch: ver.Epoch, Seq: ver.Seq}
 	for _, d := range p.store.All() {
 		snap.Docs = append(snap.Docs, d.Raw)
 	}

@@ -78,16 +78,32 @@ func runWorkload(fs FS) error {
 	}
 	defer st.Close()
 	applied := 0
-	st.SetSnapshotSource(func() ([]byte, uint32, uint32, error) {
-		return []byte(docSet(applied)), 1, verAfter(applied), nil
+	st.SetSnapshotSource(func() (SnapshotData, error) {
+		return SnapshotData{
+			Payload: []byte(docSet(applied)),
+			Epoch:   1, Seq: verAfter(applied),
+			FoldLSN: st.LastLSN(),
+		}, nil
 	})
 	for i, op := range crashWorkload {
 		if op.kind == 0 {
-			if err := st.SaveSnapshot([]byte(docSet(i)), 1, op.seq); err != nil {
+			if err := st.SaveSnapshot(SnapshotData{
+				Payload: []byte(docSet(i)),
+				Epoch:   1, Seq: op.seq,
+				FoldLSN: st.LastLSN(),
+			}); err != nil {
 				return err
 			}
 		} else {
 			if _, err := st.Append(Op{Kind: op.kind, Data: op.key, Epoch: 1, Seq: op.seq}); err != nil {
+				return err
+			}
+			applied = i + 1
+			// Compaction runs as a separate step after the append commits
+			// (mirroring core.Peer), inside the crash surface. The source
+			// reads `applied` and the log tail together — payload and fold
+			// LSN are a consistent pair, as core captures them under p.mu.
+			if err := st.MaybeCompact(); err != nil {
 				return err
 			}
 		}

@@ -11,11 +11,16 @@
 //   - Every publish/remove appends one length-prefixed, CRC32C-checksummed
 //     record to wal.ppl and fsyncs (batchable via Options.SyncEvery).
 //   - Snapshots are written to a temp file, fsynced, and renamed into
-//     place; the previous snapshot is kept as a fallback until the next
-//     compaction replaces it.
-//   - Recovery replays snapshot + WAL suffix, truncates the log at the
-//     first torn or corrupt record, and quarantines unreadable files
-//     aside — nothing is ever deleted.
+//     place; the previous snapshot AND the WAL generation it pairs with
+//     are kept as a fallback (snapshot.pps.prev + wal.ppl.prev) until
+//     the next compaction replaces them, so falling back to the prior
+//     snapshot replays a gapless operation history.
+//   - Rotation stamps the snapshot with the fold LSN captured atomically
+//     with its payload and carries any later records into the fresh log,
+//     so an append racing a compaction is never rotated away.
+//   - Recovery replays snapshot + the merged WAL generations, truncates
+//     the log at the first torn or corrupt record, and quarantines
+//     unreadable files aside — nothing is ever deleted.
 //
 // All file I/O goes through the FS seam so tests inject deterministic
 // disk faults (see FaultFS and MemFS) in the same spirit as

@@ -20,8 +20,12 @@ import (
 // in the version counters is as detectable as one in the data. Snapshots
 // are written to a temp file, fsynced, and renamed into place; the
 // displaced previous snapshot is kept as a fallback (snapshot.pps.prev)
-// so a corrupt current snapshot degrades to the prior one plus a longer
-// WAL replay instead of to data loss.
+// TOGETHER WITH the WAL generation it pairs with (wal.ppl.prev, rotated
+// aside rather than discarded), so a corrupt current snapshot degrades
+// to the prior snapshot plus a longer, gapless WAL replay across both
+// generations instead of to data loss. Only if both snapshot
+// generations are unreadable can state older than the previous fold be
+// lost — and then the quarantined files still hold the bytes.
 
 var snapMagic = []byte("PPS1")
 

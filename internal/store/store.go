@@ -13,6 +13,7 @@ import (
 // File names within the store directory.
 const (
 	walName      = "wal.ppl"
+	walPrevName  = "wal.ppl.prev"
 	walTmpName   = "wal.ppl.tmp"
 	snapName     = "snapshot.pps"
 	snapPrevName = "snapshot.pps.prev"
@@ -96,6 +97,19 @@ type Recovery struct {
 // ErrClosed is returned by operations on a closed store.
 var ErrClosed = errors.New("store: closed")
 
+// SnapshotData is what a snapshot source captures: the serialized full
+// state, the gossip version it reflects, and the LSN of the last WAL
+// operation whose effect is included in the payload. FoldLSN must be
+// read atomically with the payload (under whatever lock serializes the
+// caller's appends — core reads it under the peer mutex); otherwise an
+// operation appended between the capture and SaveSnapshot could be
+// stamped as folded in without actually being in the payload.
+type SnapshotData struct {
+	Payload    []byte
+	Epoch, Seq uint32
+	FoldLSN    uint64
+}
+
 // Store is a live crash-safe persistence handle: an open WAL plus the
 // snapshot protocol. Safe for concurrent use.
 type Store struct {
@@ -111,7 +125,7 @@ type Store struct {
 	lastVer     [2]uint32
 	closed      bool
 	compacting  bool
-	snapshotSrc func() (payload []byte, epoch, seq uint32, err error)
+	snapshotSrc func() (SnapshotData, error)
 
 	m storeMetrics
 }
@@ -208,16 +222,25 @@ func (s *Store) recoverSnapshot(rec *Recovery) error {
 
 // recoverWAL replays the log, truncates at the first tear, filters ops
 // already folded into the snapshot, and leaves the store ready to append.
+// Both WAL generations are scanned — wal.ppl.prev (the generation
+// displaced by the last rotation) and wal.ppl — and merged by LSN, so a
+// fallback to the previous snapshot replays a gapless prefix: the prev
+// WAL holds exactly the operations after the prev snapshot's fold LSN.
 func (s *Store) recoverWAL(rec *Recovery) error {
+	prevOps := s.scanPrevWAL()
+
 	walPath := join(s.opts.Dir, walName)
 	data, err := s.fsys.ReadFile(walPath)
+	var ops []Op
+	validEnd := 0
+	haveWAL := false
 	switch {
 	case errors.Is(err, fs.ErrNotExist):
-		return s.freshWAL()
+		// A crash between the two rotation renames leaves no wal.ppl; the
+		// displaced generation (wal.ppl.prev) carries its records.
 	case err != nil:
 		return fmt.Errorf("store: reading %s: %w", walName, err)
-	}
-	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != string(walMagic) {
+	case len(data) < len(walMagic) || string(data[:len(walMagic)]) != string(walMagic):
 		// The whole file is unreadable (lost or foreign header):
 		// quarantine it and start a fresh log. Its bytes count as
 		// truncated — they carried an unknown number of records.
@@ -230,21 +253,22 @@ func (s *Store) recoverWAL(rec *Recovery) error {
 			rec.TruncatedRecords++
 			rec.TruncatedBytes += int64(len(data))
 		}
-		return s.freshWAL()
-	}
-	body := data[len(walMagic):]
-	ops, validEnd, dropped := scanWAL(body, s.opts.MaxRecordBytes, 0)
-	if dropped > 0 {
-		rec.TruncatedRecords++
-		rec.TruncatedBytes += int64(dropped)
-		if err := s.fsys.Truncate(walPath, int64(len(walMagic)+validEnd)); err != nil {
-			return fmt.Errorf("store: truncating torn WAL: %w", err)
+	default:
+		haveWAL = true
+		var dropped int
+		ops, validEnd, dropped = scanWAL(data[len(walMagic):], s.opts.MaxRecordBytes, 0)
+		if dropped > 0 {
+			rec.TruncatedRecords++
+			rec.TruncatedBytes += int64(dropped)
+			if err := s.fsys.Truncate(walPath, int64(len(walMagic)+validEnd)); err != nil {
+				return fmt.Errorf("store: truncating torn WAL: %w", err)
+			}
 		}
 	}
-	// Ops already folded into the snapshot (a crash between the snapshot
-	// rename and the WAL rotation leaves them behind) replay as no-ops —
-	// skip them by LSN.
-	for _, op := range ops {
+	// Ops already folded into the snapshot replay as no-ops — skip them
+	// by LSN. Ops present in both generations (the rotation carries the
+	// unfolded suffix forward) dedup in the merge.
+	for _, op := range mergeOps(prevOps, ops) {
 		if op.LSN > s.snapLSN {
 			rec.Ops = append(rec.Ops, op)
 		}
@@ -255,6 +279,9 @@ func (s *Store) recoverWAL(rec *Recovery) error {
 	if s.snapLSN >= s.nextLSN {
 		s.nextLSN = s.snapLSN + 1
 	}
+	if !haveWAL {
+		return s.freshWAL()
+	}
 	wal, err := s.fsys.OpenAppend(walPath)
 	if err != nil {
 		return fmt.Errorf("store: opening WAL: %w", err)
@@ -262,6 +289,50 @@ func (s *Store) recoverWAL(rec *Recovery) error {
 	s.wal = wal
 	s.walBytes = int64(len(walMagic) + validEnd)
 	return nil
+}
+
+// scanPrevWAL reads the displaced WAL generation (best-effort: the file
+// is redundancy for snapshot fallback, so an absent or unreadable prev
+// WAL contributes nothing rather than failing recovery). It is never
+// truncated or mutated — the next rotation supersedes it.
+func (s *Store) scanPrevWAL() []Op {
+	data, err := s.fsys.ReadFile(join(s.opts.Dir, walPrevName))
+	if err != nil || len(data) < len(walMagic) || string(data[:len(walMagic)]) != string(walMagic) {
+		return nil
+	}
+	ops, _, _ := scanWAL(data[len(walMagic):], s.opts.MaxRecordBytes, 0)
+	return ops
+}
+
+// mergeOps merges two LSN-ascending op lists into one, dropping
+// duplicate LSNs (the same record can live in both WAL generations when
+// a rotation carried it forward).
+func mergeOps(a, b []Op) []Op {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]Op, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].LSN < b[j].LSN:
+			out = append(out, a[i])
+			i++
+		case b[j].LSN < a[i].LSN:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
 }
 
 // freshWAL creates an empty log (magic only) and syncs it.
@@ -295,31 +366,39 @@ func (s *Store) quarantine(name string) (string, error) {
 	if err := s.fsys.MkdirAll(join(s.opts.Dir, quarDir)); err != nil {
 		return "", fmt.Errorf("store: mkdir quarantine: %w", err)
 	}
-	for i := 0; ; i++ {
+	const maxProbes = 10000
+	for i := 0; i < maxProbes; i++ {
 		q := path.Join(quarDir, fmt.Sprintf("%s.%d", name, i))
-		if _, err := s.fsys.Size(join(s.opts.Dir, q)); errors.Is(err, fs.ErrNotExist) {
+		_, err := s.fsys.Size(join(s.opts.Dir, q))
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
 			if err := s.fsys.Rename(join(s.opts.Dir, name), join(s.opts.Dir, q)); err != nil {
 				return "", fmt.Errorf("store: quarantining %s: %w", name, err)
 			}
 			return q, nil
+		case err != nil:
+			// Anything but "free slot" is a real filesystem problem —
+			// surface it instead of probing forever.
+			return "", fmt.Errorf("store: probing quarantine slot %s: %w", q, err)
 		}
 	}
+	return "", fmt.Errorf("store: %d quarantined generations of %s — refusing to add more", maxProbes, name)
 }
 
 // SetSnapshotSource installs the callback compaction uses to produce a
-// fresh full-state snapshot (payload plus the gossip version it
-// captures). Without a source the WAL grows unboundedly but the store
-// still works.
-func (s *Store) SetSnapshotSource(fn func() (payload []byte, epoch, seq uint32, err error)) {
+// fresh full-state snapshot. Without a source the WAL grows unboundedly
+// but the store still works.
+func (s *Store) SetSnapshotSource(fn func() (SnapshotData, error)) {
 	s.mu.Lock()
 	s.snapshotSrc = fn
 	s.mu.Unlock()
 }
 
 // Append logs one operation and (per SyncEvery) fsyncs it. It assigns
-// and returns the operation's LSN. When the WAL passes the compaction
-// threshold and a snapshot source is installed, the log is folded into a
-// fresh snapshot before Append returns.
+// and returns the operation's LSN. An error means the record is not
+// durably committed; Append never has side effects beyond the log, so
+// callers can treat a failure as "operation did not happen". Compaction
+// is a separate step — see MaybeCompact.
 func (s *Store) Append(op Op) (uint64, error) {
 	s.mu.Lock()
 	if s.closed {
@@ -347,24 +426,41 @@ func (s *Store) Append(op Op) (uint64, error) {
 		s.m.fsyncs.Inc()
 	}
 	lsn := op.LSN
-	src := s.snapshotSrc
-	needCompact := s.walBytes >= s.opts.CompactBytes && src != nil && !s.compacting
-	if needCompact {
-		s.compacting = true
-	}
 	s.mu.Unlock()
 	s.m.appends.Inc()
-
-	if needCompact {
-		err := s.compact(src)
-		s.mu.Lock()
-		s.compacting = false
-		s.mu.Unlock()
-		if err != nil {
-			return lsn, fmt.Errorf("store: compaction: %w", err)
-		}
-	}
 	return lsn, nil
+}
+
+// MaybeCompact folds the WAL into a fresh snapshot when it has passed
+// the compaction threshold and a snapshot source is installed; otherwise
+// it is a cheap no-op. It must be called OUTSIDE any lock the snapshot
+// source takes (core calls it after releasing the peer mutex — the
+// source re-acquires it to capture payload and fold LSN atomically).
+// A compaction failure never invalidates the appends that triggered it:
+// they are already durable, the WAL just keeps growing until a later
+// compaction succeeds.
+func (s *Store) MaybeCompact() error {
+	s.mu.Lock()
+	if s.closed || s.compacting || s.snapshotSrc == nil || s.walBytes < s.opts.CompactBytes {
+		s.mu.Unlock()
+		return nil
+	}
+	src := s.snapshotSrc
+	s.compacting = true
+	s.mu.Unlock()
+
+	data, err := src()
+	if err == nil {
+		err = s.SaveSnapshot(data)
+	}
+	s.mu.Lock()
+	s.compacting = false
+	s.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("store: compaction: %w", err)
+	}
+	s.m.compactions.Inc()
+	return nil
 }
 
 // Sync forces any batched appends to disk (a commit barrier for callers
@@ -386,34 +482,31 @@ func (s *Store) Sync() error {
 	return nil
 }
 
-// compact asks the source for a fresh snapshot and saves it (which also
-// rotates the WAL).
-func (s *Store) compact(src func() ([]byte, uint32, uint32, error)) error {
-	payload, epoch, seq, err := src()
-	if err != nil {
-		return err
-	}
-	if err := s.SaveSnapshot(payload, epoch, seq); err != nil {
-		return err
-	}
-	s.m.compactions.Inc()
-	return nil
-}
-
-// SaveSnapshot atomically replaces the on-disk snapshot with payload
-// (temp file + fsync + rename, previous snapshot kept as fallback) and
-// rotates the WAL: every operation logged so far is folded in, so the
-// log restarts empty. epoch/seq are the gossip version the payload
-// captures.
-func (s *Store) SaveSnapshot(payload []byte, epoch, seq uint32) error {
+// SaveSnapshot atomically replaces the on-disk snapshot with the
+// captured payload (temp file + fsync + rename, previous snapshot kept
+// as fallback) and rotates the WAL. The snapshot header is stamped with
+// data.FoldLSN — the LSN the payload actually folds through, captured by
+// the source atomically with the payload — NOT the log's current tail:
+// operations appended after the capture are not in the payload, so they
+// are carried forward into the rotated log (and the displaced log is
+// kept as wal.ppl.prev) instead of being rotated away. A snapshot that
+// would fold through less than the installed one is skipped: it could
+// only regress coverage and orphan the records in between.
+func (s *Store) SaveSnapshot(data SnapshotData) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
-	// Catch up any batched appends first: the snapshot folds through
-	// nextLSN-1, so those records must be durable before the snapshot
-	// can supersede them.
+	if data.FoldLSN >= s.nextLSN {
+		return fmt.Errorf("store: snapshot folds through LSN %d beyond last append %d", data.FoldLSN, s.nextLSN-1)
+	}
+	if data.FoldLSN < s.snapLSN {
+		return nil
+	}
+	// Catch up any batched appends first: records at or below the fold
+	// LSN must be durable before the snapshot can supersede them, and
+	// the carried suffix is read back from the file below.
 	if s.unsynced > 0 {
 		if err := s.wal.Sync(); err != nil {
 			return fmt.Errorf("store: wal fsync: %w", err)
@@ -421,8 +514,8 @@ func (s *Store) SaveSnapshot(payload []byte, epoch, seq uint32) error {
 		s.unsynced = 0
 		s.m.fsyncs.Inc()
 	}
-	hdr := Header{Epoch: epoch, Seq: seq, LSN: s.nextLSN - 1}
-	img := encodeSnapshot(hdr, payload)
+	hdr := Header{Epoch: data.Epoch, Seq: data.Seq, LSN: data.FoldLSN}
+	img := encodeSnapshot(hdr, data.Payload)
 
 	dir := s.opts.Dir
 	tmp, err := s.fsys.Create(join(dir, snapTmpName))
@@ -453,20 +546,33 @@ func (s *Store) SaveSnapshot(payload []byte, epoch, seq uint32) error {
 	s.snapLSN = hdr.LSN
 	s.m.snapshots.Inc()
 
-	// Rotate the WAL: build the fresh (empty) log aside, sync, rename
-	// over. A crash anywhere here leaves either the old log (its ops
-	// replay as no-ops past the snapshot's LSN) or the new empty one.
+	// Rotate the WAL: build the next generation aside — magic plus the
+	// byte-for-byte suffix of records the snapshot does NOT fold through
+	// (LSN > FoldLSN) — sync it, rename the displaced generation to
+	// wal.ppl.prev (it backs the fallback snapshot), and rename the new
+	// one into place. A crash at any point leaves recovery a complete
+	// record set: the old log under one name or the other, with the
+	// snapshot + merged-generation replay reconstructing a consistent
+	// prefix.
+	suffix, err := s.walSuffixAfter(data.FoldLSN)
+	if err != nil {
+		return err
+	}
 	nw, err := s.fsys.Create(join(dir, walTmpName))
 	if err != nil {
 		return fmt.Errorf("store: creating fresh WAL: %w", err)
 	}
-	if _, err := nw.Write(walMagic); err != nil {
+	if _, err := nw.Write(append(append([]byte{}, walMagic...), suffix...)); err != nil {
 		nw.Close()
-		return fmt.Errorf("store: writing fresh WAL header: %w", err)
+		return fmt.Errorf("store: writing fresh WAL: %w", err)
 	}
 	if err := nw.Sync(); err != nil {
 		nw.Close()
-		return fmt.Errorf("store: syncing fresh WAL header: %w", err)
+		return fmt.Errorf("store: syncing fresh WAL: %w", err)
+	}
+	if err := s.fsys.Rename(join(dir, walName), join(dir, walPrevName)); err != nil {
+		nw.Close()
+		return fmt.Errorf("store: rotating previous WAL: %w", err)
 	}
 	if err := s.fsys.Rename(join(dir, walTmpName), join(dir, walName)); err != nil {
 		nw.Close()
@@ -478,9 +584,42 @@ func (s *Store) SaveSnapshot(payload []byte, epoch, seq uint32) error {
 	}
 	s.wal.Close()
 	s.wal = nw
-	s.walBytes = int64(len(walMagic))
+	s.walBytes = int64(len(walMagic) + len(suffix))
 	s.unsynced = 0
 	return nil
+}
+
+// walSuffixAfter returns the raw bytes of the current log's records with
+// LSN > foldLSN (the records a snapshot folding through foldLSN must
+// carry into the next WAL generation). Caller holds s.mu with the log
+// fsynced.
+func (s *Store) walSuffixAfter(foldLSN uint64) ([]byte, error) {
+	data, err := s.fsys.ReadFile(join(s.opts.Dir, walName))
+	if err != nil {
+		return nil, fmt.Errorf("store: reading WAL for rotation: %w", err)
+	}
+	body := data[len(walMagic):]
+	off := 0
+	for off < len(body) {
+		op, n, err := decodeRecord(body[off:], s.opts.MaxRecordBytes)
+		if err != nil {
+			break // we wrote these records; a tear here ends the file
+		}
+		if op.LSN > foldLSN {
+			break
+		}
+		off += n
+	}
+	return body[off:], nil
+}
+
+// LastLSN returns the LSN of the most recent append (0 if none yet).
+// Snapshot sources read it while holding whatever lock serializes their
+// appends, so the returned LSN is exactly the state the payload captures.
+func (s *Store) LastLSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextLSN - 1
 }
 
 // WALSize returns the current log size in bytes.

@@ -2,8 +2,10 @@ package store
 
 import (
 	"fmt"
+	"io/fs"
 	"strings"
 	"testing"
+	"time"
 
 	"planetp/internal/metrics"
 )
@@ -73,7 +75,7 @@ func TestSnapshotAndWALSuffix(t *testing.T) {
 	st, _ := openMem(t, mem, Options{})
 	st.Append(Op{Kind: OpPublish, Data: "a", Epoch: 1, Seq: 1})
 	st.Append(Op{Kind: OpPublish, Data: "b", Epoch: 1, Seq: 2})
-	if err := st.SaveSnapshot([]byte("SNAP-AB"), 1, 2); err != nil {
+	if err := st.SaveSnapshot(SnapshotData{Payload: []byte("SNAP-AB"), Epoch: 1, Seq: 2, FoldLSN: st.LastLSN()}); err != nil {
 		t.Fatal(err)
 	}
 	st.Append(Op{Kind: OpPublish, Data: "c", Epoch: 1, Seq: 3})
@@ -100,12 +102,19 @@ func TestCompactionFoldsWAL(t *testing.T) {
 	reg := metrics.NewRegistry()
 	st, _ := openMem(t, mem, Options{CompactBytes: 256, Metrics: reg})
 	var snapCalls int
-	st.SetSnapshotSource(func() ([]byte, uint32, uint32, error) {
+	st.SetSnapshotSource(func() (SnapshotData, error) {
 		snapCalls++
-		return []byte(fmt.Sprintf("SNAP-%d", snapCalls)), 1, uint32(snapCalls), nil
+		return SnapshotData{
+			Payload: []byte(fmt.Sprintf("SNAP-%d", snapCalls)),
+			Epoch:   1, Seq: uint32(snapCalls),
+			FoldLSN: st.LastLSN(),
+		}, nil
 	})
 	for i := 0; i < 50; i++ {
 		if _, err := st.Append(Op{Kind: OpPublish, Data: strings.Repeat("x", 40), Epoch: 1, Seq: uint32(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.MaybeCompact(); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -174,11 +183,11 @@ func TestCorruptSnapshotQuarantinedFallsBack(t *testing.T) {
 	mem := NewMemFS()
 	st, _ := openMem(t, mem, Options{})
 	st.Append(Op{Kind: OpPublish, Data: "a", Epoch: 1, Seq: 1})
-	if err := st.SaveSnapshot([]byte("GEN-1"), 1, 1); err != nil {
+	if err := st.SaveSnapshot(SnapshotData{Payload: []byte("GEN-1"), Epoch: 1, Seq: 1, FoldLSN: st.LastLSN()}); err != nil {
 		t.Fatal(err)
 	}
 	st.Append(Op{Kind: OpPublish, Data: "b", Epoch: 1, Seq: 2})
-	if err := st.SaveSnapshot([]byte("GEN-2"), 1, 2); err != nil {
+	if err := st.SaveSnapshot(SnapshotData{Payload: []byte("GEN-2"), Epoch: 1, Seq: 2, FoldLSN: st.LastLSN()}); err != nil {
 		t.Fatal(err)
 	}
 	st.Close()
@@ -209,12 +218,18 @@ func TestCorruptSnapshotQuarantinedFallsBack(t *testing.T) {
 	if _, err := mem.Size("peer0/" + rec.Quarantined[0]); err != nil {
 		t.Fatalf("quarantined file missing: %v", err)
 	}
-	// The recovered version floor still reaches 1.2 via the old WAL's
-	// leftover op (LSN-filtered replay keeps it out of Ops only if it
-	// was folded; GEN-1's WAL was rotated, so op b is gone — the floor
-	// comes from the fallback snapshot header).
 	if rec.SnapshotHeader.Epoch != 1 || rec.SnapshotHeader.Seq != 1 {
 		t.Fatalf("fallback header = %+v", rec.SnapshotHeader)
+	}
+	// The fallback is GAPLESS: op b (folded into the corrupt GEN-2 and
+	// past GEN-1's fold LSN) survives in the retained previous WAL
+	// generation and replays on top of GEN-1 — the prior snapshot plus a
+	// longer WAL replay, not a silent hole in the middle.
+	if len(rec.Ops) != 1 || rec.Ops[0].Data != "b" {
+		t.Fatalf("fallback replay ops = %v, want op b from wal.ppl.prev", rec.Ops)
+	}
+	if rec.Epoch != 1 || rec.Seq != 2 {
+		t.Fatalf("recovered version floor %d.%d, want 1.2", rec.Epoch, rec.Seq)
 	}
 }
 
@@ -265,8 +280,110 @@ func TestClosedStoreRejectsAppends(t *testing.T) {
 	if _, err := st.Append(Op{Kind: OpPublish, Data: "x"}); err != ErrClosed {
 		t.Fatalf("append after close: %v", err)
 	}
-	if err := st.SaveSnapshot(nil, 1, 1); err != ErrClosed {
+	if err := st.SaveSnapshot(SnapshotData{Epoch: 1, Seq: 1}); err != ErrClosed {
 		t.Fatalf("snapshot after close: %v", err)
+	}
+}
+
+// Regression: a publish that lands between a snapshot source capturing
+// its payload and SaveSnapshot installing it must survive the rotation.
+// The snapshot folds through the fold LSN captured with the payload, and
+// records past it are carried into the fresh WAL generation — they must
+// not be stamped as folded in and rotated away.
+func TestSnapshotDoesNotLoseRacingAppend(t *testing.T) {
+	mem := NewMemFS()
+	st, _ := openMem(t, mem, Options{})
+	st.Append(Op{Kind: OpPublish, Data: "a", Epoch: 1, Seq: 1})
+	st.Append(Op{Kind: OpPublish, Data: "b", Epoch: 1, Seq: 2})
+	// The source captures state {a,b} and its fold LSN...
+	payload, fold := []byte("SNAP-AB"), st.LastLSN()
+	// ...then a concurrent, durably-acknowledged publish lands...
+	if _, err := st.Append(Op{Kind: OpPublish, Data: "c", Epoch: 1, Seq: 3}); err != nil {
+		t.Fatal(err)
+	}
+	// ...and only now does the snapshot install.
+	if err := st.SaveSnapshot(SnapshotData{Payload: payload, Epoch: 1, Seq: 2, FoldLSN: fold}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2, rec := openMem(t, mem, Options{})
+	defer st2.Close()
+	if string(rec.Snapshot) != "SNAP-AB" {
+		t.Fatalf("snapshot = %q", rec.Snapshot)
+	}
+	if len(rec.Ops) != 1 || rec.Ops[0].Data != "c" {
+		t.Fatalf("racing publish lost by rotation: replay ops = %v, want op c", rec.Ops)
+	}
+	// LSNs keep advancing past the carried record.
+	if lsn, err := st2.Append(Op{Kind: OpPublish, Data: "d", Epoch: 1, Seq: 4}); err != nil || lsn != 4 {
+		t.Fatalf("post-recovery append lsn=%d err=%v, want 4", lsn, err)
+	}
+}
+
+// A snapshot claiming to fold through an LSN never appended is rejected;
+// one folding through less than the installed snapshot is skipped (it
+// would regress coverage and orphan the records in between).
+func TestSaveSnapshotFoldBounds(t *testing.T) {
+	mem := NewMemFS()
+	st, _ := openMem(t, mem, Options{})
+	defer st.Close()
+	st.Append(Op{Kind: OpPublish, Data: "a", Epoch: 1, Seq: 1})
+	if err := st.SaveSnapshot(SnapshotData{Payload: []byte("X"), Epoch: 1, Seq: 1, FoldLSN: 99}); err == nil {
+		t.Fatal("fold LSN beyond last append accepted")
+	}
+	st.Append(Op{Kind: OpPublish, Data: "b", Epoch: 1, Seq: 2})
+	if err := st.SaveSnapshot(SnapshotData{Payload: []byte("AB"), Epoch: 1, Seq: 2, FoldLSN: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// A stale capture folding through LSN 1 must not displace it.
+	if err := st.SaveSnapshot(SnapshotData{Payload: []byte("A"), Epoch: 1, Seq: 1, FoldLSN: 1}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := mem.ReadFile("peer0/snapshot.pps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr, payload, err := decodeSnapshot(data, 1<<20); err != nil || string(payload) != "AB" || hdr.LSN != 2 {
+		t.Fatalf("stale snapshot displaced the newer one: hdr=%+v payload=%q err=%v", hdr, payload, err)
+	}
+}
+
+// errSizeFS makes every Size probe fail with a non-NotExist error, as a
+// permission-denied quarantine directory would.
+type errSizeFS struct{ FS }
+
+func (e errSizeFS) Size(name string) (int64, error) {
+	return 0, fmt.Errorf("size %s: %w", name, fs.ErrPermission)
+}
+
+// Regression: a quarantine-slot probe that fails with anything other
+// than ErrNotExist must surface the error, not spin forever.
+func TestQuarantineProbeErrorIsFatal(t *testing.T) {
+	mem := NewMemFS()
+	st, _ := openMem(t, mem, Options{})
+	st.Append(Op{Kind: OpPublish, Data: "a", Epoch: 1, Seq: 1})
+	st.Close()
+	// Corrupt the WAL magic so recovery must quarantine the file.
+	data, _ := mem.ReadFile("peer0/wal.ppl")
+	data[0] ^= 0xff
+	h, _ := mem.Create("peer0/wal.ppl")
+	h.Write(data)
+	h.Sync()
+	h.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := Open(Options{Dir: "peer0", FS: errSizeFS{mem}})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Open succeeded despite unprobeable quarantine dir")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Open spinning on quarantine probe")
 	}
 }
 
