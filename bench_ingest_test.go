@@ -1,0 +1,109 @@
+// Ingest benchmarks: the per-document Publish loop vs PublishBatch over
+// the same synthetic CACM corpus, in memory and with the durable store
+// (where batching additionally turns N fsyncs into one group-committed
+// append per batch). Each iteration ingests the whole corpus into a
+// fresh peer — republishing into a warm peer would dedup to a no-op —
+// and the suite reports docs/s so the batched-vs-per-doc speedup reads
+// straight off one `go test -bench Ingest` run. The acceptance target:
+// batch=64 durable ingest at >= 5x the per-document durable rate.
+package planetp_test
+
+import (
+	"os"
+	"testing"
+
+	"planetp"
+	"planetp/internal/collection"
+	"planetp/internal/ir"
+)
+
+// ingestBenchDocs is the number of corpus documents per iteration.
+const ingestBenchDocs = 256
+
+// ingestBenchCorpus renders the benchmark corpus once: 256 documents of
+// the CACM/8 synthetic collection through ir.DocXML, so the benchmarks
+// exercise the real parse/tokenize/stem pipeline on realistic Zipf text.
+var ingestBenchCorpus []string
+
+func getIngestBenchCorpus(b *testing.B) []string {
+	if ingestBenchCorpus == nil {
+		col := collection.Generate(collection.ScaledSpec("CACM", 8), 11)
+		ingestBenchCorpus = ir.XMLDocs(col, ingestBenchDocs)
+		if len(ingestBenchCorpus) != ingestBenchDocs {
+			b.Fatalf("corpus has %d docs, want %d", len(ingestBenchCorpus), ingestBenchDocs)
+		}
+	}
+	return ingestBenchCorpus
+}
+
+func benchIngest(b *testing.B, batch int, durable bool) {
+	xmls := getIngestBenchCorpus(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := planetp.Config{ID: 0, Capacity: 4, Seed: 1}
+		dir := ""
+		if durable {
+			d, err := os.MkdirTemp("", "planetp-ingest-bench-")
+			if err != nil {
+				b.Fatal(err)
+			}
+			dir = d
+			cfg.DataDir = dir
+		}
+		p, err := planetp.NewPeer(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+
+		if batch <= 1 {
+			for _, xml := range xmls {
+				if _, err := p.Publish(xml); err != nil {
+					b.Fatal(err)
+				}
+			}
+		} else {
+			for lo := 0; lo < len(xmls); lo += batch {
+				hi := lo + batch
+				if hi > len(xmls) {
+					hi = len(xmls)
+				}
+				if _, err := p.PublishBatch(xmls[lo:hi]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+
+		b.StopTimer()
+		p.Stop()
+		if dir != "" {
+			os.RemoveAll(dir)
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(ingestBenchDocs)*float64(b.N)/b.Elapsed().Seconds(), "docs/s")
+}
+
+// BenchmarkIngestPerDocMem is the seed's ingest path: one Publish call —
+// one analysis, one filter diff, one gossip announcement — per document.
+func BenchmarkIngestPerDocMem(b *testing.B) { benchIngest(b, 1, false) }
+
+// BenchmarkIngestBatch64Mem ingests 64 documents per PublishBatch call:
+// parallel analysis outside the peer lock and one summarization per batch.
+func BenchmarkIngestBatch64Mem(b *testing.B) { benchIngest(b, 64, false) }
+
+// BenchmarkIngestPerDocDurable is the per-document loop with the durable
+// store attached: every Publish pays its own WAL append and fsync.
+func BenchmarkIngestPerDocDurable(b *testing.B) { benchIngest(b, 1, true) }
+
+// BenchmarkIngestBatch64Durable is the acceptance benchmark: 64-document
+// batches over the durable store, one group-committed WAL append (one
+// fsync) per batch.
+func BenchmarkIngestBatch64Durable(b *testing.B) { benchIngest(b, 64, true) }
+
+// BenchmarkIngestBatch16Durable sits between the two extremes, matching
+// the gossipsim ingest sweep's middle point.
+func BenchmarkIngestBatch16Durable(b *testing.B) { benchIngest(b, 16, true) }

@@ -9,6 +9,7 @@
 //	gossipsim -exp fig4a [-n 1000] [-arrivals 100]
 //	gossipsim -exp fig4b [-n 1000]   (also emits the fig4c timeline)
 //	gossipsim -exp fig5  [-n 2000]
+//	gossipsim -exp ingest [-n 200] [-docs 256] [-batches 1,16,64,256]
 //	gossipsim -exp faults [-n 50] [-drop 0.25] [-dup 0] [-delay 0]
 //	          [-partition-at 0s] [-heal-at 0s] [-fault-seed 42]
 //	gossipsim -exp restart [-n 50] [-drop 0.25] [-fault-seed 42]
@@ -41,6 +42,8 @@ func main() {
 	partitionAt := flag.Duration("partition-at", 0, "faults: when to split the community in half (with -heal-at)")
 	healAt := flag.Duration("heal-at", 0, "faults: when the partition heals (> -partition-at enables the split)")
 	faultSeed := flag.Int64("fault-seed", 42, "faults: fault-schedule seed")
+	docs := flag.Int("docs", 256, "ingest: documents in the publish burst")
+	batchesArg := flag.String("batches", "1,16,64,256", "ingest: batch sizes to sweep")
 	flag.Parse()
 
 	switch *exp {
@@ -59,6 +62,10 @@ func main() {
 		fig4bc(*n, *seed)
 	case "fig5":
 		fig5(*n, *seed)
+	case "ingest":
+		ingest(*n, *docs, parseInts(*batchesArg), pickScenarios(*scensArg, []gossipsim.Scenario{
+			gossipsim.LAN, gossipsim.DSL30,
+		}), *seed)
 	case "faults":
 		faults(*n, gossipsim.FaultSpec{
 			Drop: *drop, Dup: *dup, Delay: *delay,
@@ -208,6 +215,22 @@ func fig4bc(n int, seed int64) {
 			fmt.Printf("%s,%d,%d\n", sc.Name, s-r.MeasureStart, r.Timeline[s])
 		}
 		summarize(reg, fmt.Sprintf("%s n=%d churn", sc.Name, n), n)
+	}
+}
+
+// ingest: one peer publishes a document burst per-doc vs batched; the
+// gossip cost of the burst is the announcement count, total bytes, and
+// convergence time on the final version.
+func ingest(n, docs int, batches []int, scens []gossipsim.Scenario, seed int64) {
+	fmt.Printf("# Ingest burst: %d docs published per-doc vs batched (%d keys/doc)\n",
+		docs, gossipsim.TermsPerDoc)
+	fmt.Println("scenario,peers,docs,batch,publishes,time_s,total_bytes,converged")
+	for _, sc := range scens {
+		for _, r := range gossipsim.IngestSweep(sc, n, docs, batches, seed) {
+			fmt.Printf("%s,%d,%d,%d,%d,%.1f,%d,%v\n",
+				r.Scenario, r.N, r.Docs, r.Batch, r.Publishes,
+				r.Time.Seconds(), r.Bytes, r.Converged)
+		}
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"os"
 
+	"planetp"
 	"planetp/internal/bloom"
 	"planetp/internal/collection"
 	"planetp/internal/gossipsim"
@@ -44,6 +45,7 @@ func main() {
 	colScale, colPeers := 8, 400
 	ks := []int{10, 20, 50, 100, 150, 200, 300, 400}
 	fig6bSizes := []int{100, 200, 400, 600, 800, 1000}
+	ingestDocs, ingestN := 256, 200
 	switch {
 	case *quick:
 		sizesFig2 = []int{50, 100, 200}
@@ -52,6 +54,7 @@ func main() {
 		colScale, colPeers = 16, 100
 		ks = []int{10, 20, 50}
 		fig6bSizes = []int{50, 100, 200}
+		ingestDocs, ingestN = 64, 60
 	case *full:
 		sizesFig2 = append(sizesFig2, 4000, 5000)
 		colScale = 1
@@ -67,6 +70,7 @@ func main() {
 	fig5(churn2N, *seed)
 	table3(colScale, *seed)
 	fig6(colScale, colPeers, ks, fig6bSizes, *seed)
+	ingest(ingestDocs, ingestN, *seed)
 	fmt.Printf("\n# total wall time: %v\n", time.Since(start).Round(time.Second))
 
 	fmt.Println("\n## Metrics snapshot (aggregate over the whole run)")
@@ -202,6 +206,77 @@ func table3(scale int, seed int64) {
 	for _, name := range []string{"CACM", "MED", "CRAN", "CISI", "AP89"} {
 		col := collection.Generate(collection.ScaledSpec(name, scale), seed)
 		fmt.Println(col.Stats())
+	}
+}
+
+// ingest measures the batched-publish pipeline two ways: real-peer
+// throughput (docs/s for per-document Publish vs PublishBatch, in memory
+// and over the durable store) and the gossip cost of the same stream from
+// the discrete-event simulator (announcements and bytes to re-converge).
+func ingest(docs, simN int, seed int64) {
+	col := collection.Generate(collection.ScaledSpec("CACM", 8), seed+13)
+	xmls := ir.XMLDocs(col, docs)
+
+	run := func(batch int, durable bool) float64 {
+		cfg := planetp.Config{ID: 0, Capacity: 4, Seed: seed}
+		if durable {
+			dir, err := os.MkdirTemp("", "planetp-bench-ingest-")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 0
+			}
+			defer os.RemoveAll(dir)
+			cfg.DataDir = dir
+		}
+		p, err := planetp.NewPeer(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 0
+		}
+		defer p.Stop()
+		start := time.Now()
+		if batch <= 1 {
+			for _, x := range xmls {
+				if _, err := p.Publish(x); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return 0
+				}
+			}
+		} else {
+			for lo := 0; lo < len(xmls); lo += batch {
+				hi := lo + batch
+				if hi > len(xmls) {
+					hi = len(xmls)
+				}
+				if _, err := p.PublishBatch(xmls[lo:hi]); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return 0
+				}
+			}
+		}
+		return float64(len(xmls)) / time.Since(start).Seconds()
+	}
+
+	fmt.Printf("\n## Ingest throughput: %d CACM docs, per-doc Publish vs PublishBatch\n", len(xmls))
+	fmt.Println("store,batch,docs_per_s")
+	for _, row := range []struct {
+		store   string
+		batch   int
+		durable bool
+	}{
+		{"mem", 1, false}, {"mem", 64, false},
+		{"durable", 1, true}, {"durable", 16, true}, {"durable", 64, true},
+	} {
+		fmt.Printf("%s,%d,%.0f\n", row.store, row.batch, run(row.batch, row.durable))
+	}
+
+	fmt.Printf("\n## Ingest gossip cost: %d docs arriving at one of %d peers, one per gossip round\n", docs, simN)
+	fmt.Println("scenario,peers,docs,batch,publishes,time_s,total_bytes,converged")
+	for _, sc := range []gossipsim.Scenario{gossipsim.LAN, gossipsim.DSL30} {
+		for _, r := range gossipsim.IngestSweep(withMetrics(sc), simN, docs, []int{1, 16, 64}, seed) {
+			fmt.Printf("%s,%d,%d,%d,%d,%.1f,%d,%v\n", r.Scenario, r.N, r.Docs,
+				r.Batch, r.Publishes, r.Time.Seconds(), r.Bytes, r.Converged)
+		}
 	}
 }
 

@@ -72,15 +72,22 @@ func main() {
 		{1, "soup-recipe.txt", "tomato basil onion simmer gently"},
 		{2, "epidemic.txt", "gossip dissemination rumor anti entropy consensus free"},
 	}
+	byOwner := make([][]string, n)
 	for _, f := range files {
 		path := filepath.Join(tmp, f.name)
 		if err := os.WriteFile(path, []byte(f.body), 0o644); err != nil {
 			log.Fatal(err)
 		}
-		if _, err := mounts[f.owner].PublishFile(path); err != nil {
+		byOwner[f.owner] = append(byOwner[f.owner], path)
+	}
+	// Each user shares all their files as one batched publish: one WAL
+	// commit and one gossiped filter update per user, however many files.
+	for owner, paths := range byOwner {
+		docs, err := mounts[owner].PublishFiles(paths)
+		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("user %d published %s\n", f.owner, f.name)
+		fmt.Printf("user %d published %d file(s) in one batch\n", owner, len(docs))
 	}
 
 	// User 0 creates a semantic directory for "consensus"; it fills with

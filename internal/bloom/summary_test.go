@@ -1,0 +1,143 @@
+package bloom
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The incremental summary must be indistinguishable from the pattern it
+// replaces: clone the filter at every gossip, diff against the clone on
+// the next. Run a randomized insert/flush schedule and compare both the
+// encoded diff and the payload at every flush.
+func TestSummaryMatchesCloneAndDiff(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := New(1<<12, 4)
+	s := NewSummary(f)
+	shadow := f.Clone() // the "lastGossip" clone of the old pattern
+
+	for round := 0; round < 50; round++ {
+		n := rng.Intn(20)
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("term-%d", rng.Intn(500))
+			s.Insert(key)
+		}
+		diff, payload, err := s.Flush()
+		if err != nil {
+			t.Fatalf("round %d: flush: %v", round, err)
+		}
+
+		wantPos, err := s.Filter().Diff(shadow)
+		if err != nil {
+			t.Fatalf("round %d: diff: %v", round, err)
+		}
+		wantDiff, err := EncodeDiff(wantPos, f.NumBits())
+		if err != nil {
+			t.Fatalf("round %d: encode: %v", round, err)
+		}
+		if !bytes.Equal(diff, wantDiff) {
+			t.Fatalf("round %d: incremental diff differs from clone-and-rediff", round)
+		}
+		if want := s.Filter().Compress(); !bytes.Equal(payload, want) {
+			t.Fatalf("round %d: cached payload differs from fresh Compress", round)
+		}
+		shadow = s.Filter().Clone()
+	}
+}
+
+// A flush with no intervening inserts must reuse the cached payload (the
+// whole point of the dirty flag: idle republish costs nothing).
+func TestSummaryPayloadCache(t *testing.T) {
+	s := NewSummary(Default())
+	s.Insert("alpha")
+	s.Insert("beta")
+	_, p1, err := s.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, p2, err := s.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &p1[0] != &p2[0] {
+		t.Fatal("idle flush recomputed the payload instead of reusing the cache")
+	}
+	pos, err := DecodeDiff(diff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pos) != 0 {
+		t.Fatalf("idle flush produced a non-empty diff: %v", pos)
+	}
+
+	// A duplicate insert flips no bits and must not invalidate the cache.
+	if s.Insert("alpha") {
+		t.Fatal("duplicate insert reported a filter change")
+	}
+	if _, p3, _ := s.Flush(); &p3[0] != &p1[0] {
+		t.Fatal("no-op insert invalidated the payload cache")
+	}
+
+	// A new term does invalidate it.
+	if !s.Insert("gamma") {
+		t.Fatal("fresh insert reported no change")
+	}
+	_, p4, err := s.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &p4[0] == &p1[0] {
+		t.Fatal("stale payload served after the filter changed")
+	}
+}
+
+// Reset models compaction: a rebuilt filter replaces the old one and the
+// pending diff is discarded.
+func TestSummaryReset(t *testing.T) {
+	s := NewSummary(Default())
+	s.Insert("will-be-discarded")
+	fresh := Default()
+	fresh.Insert("kept")
+	s.Reset(fresh)
+	if s.Pending() != 0 {
+		t.Fatalf("pending survived reset: %d", s.Pending())
+	}
+	if s.Filter() != fresh {
+		t.Fatal("filter not replaced")
+	}
+	diff, payload, err := s.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, _ := DecodeDiff(diff)
+	if len(pos) != 0 {
+		t.Fatalf("reset summary flushed stale positions: %v", pos)
+	}
+	if !bytes.Equal(payload, fresh.Compress()) {
+		t.Fatal("payload does not reflect the replacement filter")
+	}
+}
+
+// InsertTrack must report exactly the bits that flipped, once each.
+func TestInsertTrack(t *testing.T) {
+	f := New(1<<10, 3)
+	var track []uint64
+	track = f.InsertTrack("x", track)
+	first := len(track)
+	if first == 0 || first > 3 {
+		t.Fatalf("tracked %d bits for a fresh key with 3 hashes", first)
+	}
+	track = f.InsertTrack("x", track) // duplicate: no new bits
+	if len(track) != first {
+		t.Fatalf("duplicate insert tracked new bits: %d -> %d", first, len(track))
+	}
+	g := New(1<<10, 3)
+	g.Insert("x")
+	if !f.Equal(g) {
+		t.Fatal("InsertTrack and Insert diverged on filter content")
+	}
+	if f.Keys() != 1 {
+		t.Fatalf("nkeys = %d after one distinct key", f.Keys())
+	}
+}

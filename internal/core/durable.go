@@ -162,6 +162,19 @@ func (p *Peer) logOp(kind store.OpKind, data string, ver directory.Version) erro
 	return err
 }
 
+// logBatch appends a batch of operations to the WAL as one group-
+// committed append (no-op while replaying or when the peer is not
+// durable). Like logOp, the caller holds p.mu and appends BEFORE
+// applying — a failed batch leaves the peer unchanged, and a successful
+// one is durable as a unit.
+func (p *Peer) logBatch(ops []store.Op) error {
+	if p.st == nil || p.replaying || len(ops) == 0 {
+		return nil
+	}
+	_, err := p.st.AppendBatch(ops)
+	return err
+}
+
 // maybeCompact folds the WAL into a snapshot once it passes the size
 // threshold. Called after p.mu is released (the snapshot source
 // re-takes it). A compaction failure never fails the operation that

@@ -7,6 +7,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -103,7 +104,7 @@ type Peer struct {
 	docOf       map[string]index.DocID // doc key -> local index id
 	filter      *bloom.Filter
 	counting    *bloom.Counting // deletion-aware twin of filter
-	lastGossip  *bloom.Filter   // filter state as of the last Publish gossip
+	summary     *bloom.Summary  // incremental gossip summarization of filter
 	broker      *broker.Broker
 	watchers    []remoteWatch
 	registry    *search.Registry
@@ -158,7 +159,7 @@ func NewPeer(cfg Config) (*Peer, error) {
 		stopCh:   make(chan struct{}),
 		loopDone: make(chan struct{}),
 	}
-	p.lastGossip = p.filter.Clone()
+	p.summary = bloom.NewSummary(p.filter)
 	p.view = &dirView{p: p}
 	p.registry = search.NewRegistry(p.view, fetcher{p})
 	// Shared IPF/rank cache for the query fast path: keyed by the
@@ -216,7 +217,7 @@ func NewPeer(cfg Config) (*Peer, error) {
 	self := directory.Record{
 		ID: cfg.ID, Class: cfg.Class, Addr: tp.Addr(),
 		Ver:     directory.Version{Epoch: epoch},
-		Payload: p.filter.Compress(),
+		Payload: p.summary.Payload(),
 	}
 	self.PayloadSize = int32(len(self.Payload))
 	p.node = gossip.NewNode(self, p.dir, gcfg, tp)
@@ -357,64 +358,16 @@ func (p *Peer) onNews(rec directory.Record) {
 // is gossiped. When BrokerTopFrac > 0, the document's most frequent terms
 // are also published to the brokerage (the PFS dual publication of
 // Section 6). It returns the parsed document.
+//
+// Publish is the batch-of-one case of PublishBatch; callers ingesting
+// many documents should batch them — one WAL commit, one index pass, and
+// one gossiped filter diff cover the whole batch.
 func (p *Peer) Publish(xml string) (*doc.Document, error) {
-	d := doc.Parse(xml)
-	var freqs map[string]int
-	if p.cfg.StructuredIndex {
-		freqs = d.StructuredTermFreqs(p.cfg.Resolver)
-	} else {
-		freqs = d.TermFreqs(p.cfg.Resolver)
-	}
-	if len(freqs) == 0 {
-		return nil, errors.New("core: document has no indexable terms")
-	}
-	ver := p.selfVer()
-	p.mu.Lock()
-	if _, err := p.store.Get(d.ID); err == nil {
-		p.mu.Unlock()
-		return d, nil // idempotent republish
-	}
-	// Durable peers commit the operation to the WAL write-ahead, inside
-	// the same critical section that applies it: WAL order matches apply
-	// order, and a failed append leaves the peer completely unchanged —
-	// once Publish succeeds, a crash cannot lose the document; when it
-	// fails, nothing was stored, indexed, or gossiped.
-	if err := p.logOp(store.OpPublish, xml, ver); err != nil {
-		p.mu.Unlock()
-		return nil, fmt.Errorf("core: publish not committed to WAL: %w", err)
-	}
-	p.store.Put(d)
-	p.docOf[d.ID] = p.index.AddTermFreqs(freqs)
-	for t := range freqs {
-		p.filter.Insert(t)
-		p.counting.Add(t)
-	}
-	diff, err := p.filter.Diff(p.lastGossip)
+	docs, err := p.PublishBatch([]string{xml})
 	if err != nil {
-		p.mu.Unlock()
 		return nil, err
 	}
-	diffBytes, err := bloom.EncodeDiff(diff, p.filter.NumBits())
-	if err != nil {
-		p.mu.Unlock()
-		return nil, err
-	}
-	payload := p.filter.Compress()
-	p.lastGossip = p.filter.Clone()
-	p.mu.Unlock()
-
-	p.node.Publish(len(diffBytes), len(payload), payload)
-	p.maybeCompact()
-
-	if p.cfg.BrokerTopFrac > 0 {
-		keys := topTerms(freqs, p.cfg.BrokerTopFrac)
-		discard := p.cfg.BrokerDiscard
-		if discard <= 0 {
-			discard = 10 * time.Minute
-		}
-		p.brokerPublish(broker.Snippet{ID: d.ID, Owner: int32(p.id), XML: xml, Keys: keys}, discard)
-	}
-	return d, nil
+	return docs[0], nil
 }
 
 // selfVer reads the peer's current gossip version for stamping WAL
@@ -446,7 +399,9 @@ func topTerms(freqs map[string]int, frac float64) []string {
 		}
 		return all[i].t < all[j].t
 	})
-	n := int(frac*float64(len(all)) + 0.999)
+	// Ceil of the exact fraction; the epsilon keeps float noise like
+	// 0.2*5 == 1.0000000000000002 from rounding an integral product up.
+	n := int(math.Ceil(frac*float64(len(all)) - 1e-9))
 	if n < 1 {
 		n = 1
 	}
@@ -503,11 +458,11 @@ func (p *Peer) Remove(docID string) bool {
 func (p *Peer) StaleFraction() float64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	set := p.lastGossip.SetBits()
+	set := p.filter.SetBits()
 	if set == 0 {
 		return 0
 	}
-	stale, err := p.counting.StaleBits(p.lastGossip)
+	stale, err := p.counting.StaleBits(p.filter)
 	if err != nil {
 		return 0
 	}
@@ -523,8 +478,8 @@ func (p *Peer) Compact() int {
 	fresh := p.counting.ToFilter()
 	cleaned := p.filter.SetBits() - fresh.SetBits()
 	p.filter = fresh
-	payload := p.filter.Compress()
-	p.lastGossip = p.filter.Clone()
+	p.summary.Reset(fresh)
+	payload := p.summary.Payload()
 	p.mu.Unlock()
 	// A compacted filter cannot be expressed as an additive diff — the
 	// rumor carries the full replacement.

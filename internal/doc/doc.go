@@ -173,7 +173,18 @@ func (d *Document) Terms(r Resolver) []string {
 
 // TermFreqs returns the term-frequency map for the document.
 func (d *Document) TermFreqs(r Resolver) map[string]int {
-	return text.TermFreqs(d.IndexableText(r))
+	return d.TermFreqsWith(r, nil, nil)
+}
+
+// TermFreqsWith is TermFreqs with a caller-supplied analyzer and
+// destination map, the batch-ingest form: a worker reuses one analyzer
+// (token buffer + term interning) and pooled maps across documents.
+// Both may be nil.
+func (d *Document) TermFreqsWith(r Resolver, a *text.Analyzer, dst map[string]int) map[string]int {
+	if a == nil {
+		a = &text.Analyzer{}
+	}
+	return a.TermFreqs(d.IndexableText(r), dst)
 }
 
 // StructuredTermFreqs returns the term-frequency map including scoped
@@ -181,13 +192,22 @@ func (d *Document) TermFreqs(r Resolver) map[string]int {
 // extension. Bare terms are always present, so structured indexing is a
 // strict superset of flat indexing (plain queries behave identically).
 func (d *Document) StructuredTermFreqs(r Resolver) map[string]int {
-	freqs := d.TermFreqs(r)
+	return d.StructuredTermFreqsWith(r, nil, nil)
+}
+
+// StructuredTermFreqsWith is StructuredTermFreqs with a caller-supplied
+// analyzer and destination map (both may be nil).
+func (d *Document) StructuredTermFreqsWith(r Resolver, a *text.Analyzer, dst map[string]int) map[string]int {
+	if a == nil {
+		a = &text.Analyzer{}
+	}
+	freqs := a.TermFreqs(d.IndexableText(r), dst)
 	for tag, txt := range d.Scoped {
-		for term, n := range text.TermFreqs(txt) {
+		for _, term := range a.Terms(txt, nil) {
 			// Terms from the pipeline are already stemmed; scope keys
 			// are already lowercase — compose directly so the form
 			// matches what text.ParseQuery produces for "tag:word".
-			freqs[tag+":"+term] += n
+			freqs[tag+":"+term]++
 		}
 	}
 	return freqs

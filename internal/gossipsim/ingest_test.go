@@ -1,0 +1,38 @@
+package gossipsim
+
+import "testing"
+
+// A batched ingest stream must converge with far fewer announcements and
+// less gossip traffic than the per-document stream carrying the same
+// content.
+func TestIngestBatchedCheaperThanPerDoc(t *testing.T) {
+	const n, docs = 60, 64
+	perDoc := Ingest(LAN, n, docs, 1, 0, 7)
+	batched := Ingest(LAN, n, docs, docs, 0, 7)
+	if !perDoc.Converged || !batched.Converged {
+		t.Fatalf("unconverged: per-doc %v batched %v", perDoc.Converged, batched.Converged)
+	}
+	if perDoc.Publishes != docs || batched.Publishes != 1 {
+		t.Fatalf("publish counts: per-doc %d (want %d), batched %d (want 1)",
+			perDoc.Publishes, docs, batched.Publishes)
+	}
+	if batched.Bytes >= perDoc.Bytes {
+		t.Fatalf("batched burst gossiped %d bytes, per-doc %d — batching saved nothing",
+			batched.Bytes, perDoc.Bytes)
+	}
+	if batched.Time <= 0 || perDoc.Time <= 0 {
+		t.Fatalf("non-positive convergence times: %v %v", batched.Time, perDoc.Time)
+	}
+}
+
+// Partial batches: a stream not divisible by the batch size still
+// publishes every document.
+func TestIngestPartialBatch(t *testing.T) {
+	r := Ingest(LAN, 20, 10, 4, 0, 3)
+	if r.Publishes != 3 { // 4+4+2
+		t.Fatalf("publishes = %d, want 3", r.Publishes)
+	}
+	if !r.Converged {
+		t.Fatal("burst did not converge")
+	}
+}

@@ -66,6 +66,23 @@ func (ix *Index) AddTermFreqs(freqs map[string]int) DocID {
 	return id
 }
 
+// AddTermFreqsBatch indexes several pre-computed term-frequency maps
+// under consecutive fresh DocIDs, taking the index lock once for the
+// whole batch. The returned ids are index-aligned with batch.
+func (ix *Index) AddTermFreqsBatch(batch []map[string]int) []DocID {
+	ids := make([]DocID, len(batch))
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for i, freqs := range batch {
+		id := ix.nextID
+		ix.nextID++
+		ix.docs[id] = true
+		ix.insertLocked(id, freqs)
+		ids[i] = id
+	}
+	return ids
+}
+
 // insertLocked adds freqs for doc id. Caller holds ix.mu.
 func (ix *Index) insertLocked(id DocID, freqs map[string]int) {
 	total := 0

@@ -244,3 +244,41 @@ func BenchmarkLookup(b *testing.B) {
 		ix.Lookup(fmt.Sprintf("w%d", i%2000))
 	}
 }
+
+// AddTermFreqsBatch must behave exactly like a sequence of AddTermFreqs
+// calls: same ids, same statistics.
+func TestAddTermFreqsBatch(t *testing.T) {
+	batch := []map[string]int{
+		{"gossip": 2, "peer": 1},
+		{"bloom": 3},
+		{"gossip": 1, "filter": 4},
+	}
+	seq := New()
+	var wantIDs []DocID
+	for _, f := range batch {
+		wantIDs = append(wantIDs, seq.AddTermFreqs(f))
+	}
+	got := New()
+	ids := got.AddTermFreqsBatch(batch)
+	if !reflect.DeepEqual(ids, wantIDs) {
+		t.Fatalf("batch ids %v, want %v", ids, wantIDs)
+	}
+	if got.Stats() != seq.Stats() {
+		t.Fatalf("batch stats %v, want %v", got.Stats(), seq.Stats())
+	}
+	for _, term := range []string{"gossip", "peer", "bloom", "filter"} {
+		if !reflect.DeepEqual(got.Lookup(term), seq.Lookup(term)) {
+			t.Fatalf("postings for %q diverge: %v vs %v", term, got.Lookup(term), seq.Lookup(term))
+		}
+	}
+	for _, id := range ids {
+		if got.DocLen(id) != seq.DocLen(id) {
+			t.Fatalf("doc %d length diverges", id)
+		}
+	}
+	// Batch after batch keeps ids consecutive.
+	more := got.AddTermFreqsBatch([]map[string]int{{"tail": 1}})
+	if more[0] != ids[len(ids)-1]+1 {
+		t.Fatalf("ids not consecutive across batches: %d after %d", more[0], ids[len(ids)-1])
+	}
+}

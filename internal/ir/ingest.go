@@ -1,0 +1,55 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"planetp/internal/collection"
+)
+
+// Collection-to-XML rendering: live peers and the ingest benchmarks
+// publish generated benchmark documents through the real Publish /
+// PublishBatch path, so the full pipeline — XML parsing, tokenization,
+// WAL commit, indexing, filter summarization — is exercised with
+// realistic term statistics.
+
+// DocXML renders collection document idx as the XML snippet a live peer
+// publishes: every term repeated to its frequency, sorted for a
+// deterministic body, with the document key as an id attribute so
+// identical frequency maps still publish as distinct documents. The
+// element tag and id index as ordinary terms (doc.Parse's footnote 2
+// behaviour); collection terms ("w<N>") pass the text pipeline
+// unchanged.
+func DocXML(col *collection.Collection, idx int) string {
+	d := &col.Docs[idx]
+	terms := make([]string, 0, len(d.Freqs))
+	for t := range d.Freqs {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	var sb strings.Builder
+	sb.Grow(d.Len * 6)
+	fmt.Fprintf(&sb, `<doc id=%q>`, DocKey(idx))
+	for _, t := range terms {
+		for i := 0; i < d.Freqs[t]; i++ {
+			sb.WriteString(t)
+			sb.WriteByte(' ')
+		}
+	}
+	sb.WriteString("</doc>")
+	return sb.String()
+}
+
+// XMLDocs renders the first limit documents of col (all of them when
+// limit <= 0 or exceeds the collection).
+func XMLDocs(col *collection.Collection, limit int) []string {
+	if limit <= 0 || limit > len(col.Docs) {
+		limit = len(col.Docs)
+	}
+	out := make([]string, limit)
+	for i := range out {
+		out[i] = DocXML(col, i)
+	}
+	return out
+}

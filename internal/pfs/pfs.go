@@ -129,14 +129,11 @@ type fileSnippet struct {
 	Content string   `xml:",chardata"`
 }
 
-// PublishFile shares a local file: the File Server exports it, an XML
-// snippet embedding its URL and content is published to PlanetP (which
-// indexes it and, with dual publication enabled on the peer, pushes its
-// top terms to the brokerage).
-func (fs *FS) PublishFile(path string) (*doc.Document, error) {
+// snippetXML reads a local file and renders its published XML form.
+func (fs *FS) snippetXML(path string) (string, error) {
 	content, err := os.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("pfs: %w", err)
+		return "", fmt.Errorf("pfs: %w", err)
 	}
 	sn := fileSnippet{
 		Name:    filepath.Base(path),
@@ -145,9 +142,42 @@ func (fs *FS) PublishFile(path string) (*doc.Document, error) {
 	}
 	raw, err := xml.Marshal(sn)
 	if err != nil {
-		return nil, fmt.Errorf("pfs: %w", err)
+		return "", fmt.Errorf("pfs: %w", err)
 	}
-	return fs.peer.Publish(string(raw))
+	return string(raw), nil
+}
+
+// PublishFile shares a local file: the File Server exports it, an XML
+// snippet embedding its URL and content is published to PlanetP (which
+// indexes it and, with dual publication enabled on the peer, pushes its
+// top terms to the brokerage).
+func (fs *FS) PublishFile(path string) (*doc.Document, error) {
+	raw, err := fs.snippetXML(path)
+	if err != nil {
+		return nil, err
+	}
+	return fs.peer.Publish(raw)
+}
+
+// PublishFiles shares many local files as one batched publish: all
+// snippets are built first, then committed, indexed, and gossiped as a
+// single filter update (core.Peer.PublishBatch) — the fast path for
+// sharing a whole directory tree. The returned documents are
+// index-aligned with paths; any unreadable file fails the batch before
+// anything is published.
+func (fs *FS) PublishFiles(paths []string) ([]*doc.Document, error) {
+	if len(paths) == 0 {
+		return nil, nil
+	}
+	xmls := make([]string, len(paths))
+	for i, path := range paths {
+		raw, err := fs.snippetXML(path)
+		if err != nil {
+			return nil, err
+		}
+		xmls[i] = raw
+	}
+	return fs.peer.PublishBatch(xmls)
 }
 
 // Dir is a semantic directory: the set of community files matching a

@@ -208,3 +208,58 @@ func TestPublishFileErrors(t *testing.T) {
 		t.Fatal("missing file accepted")
 	}
 }
+
+// PublishFiles shares a whole set of files in one batched publish; every
+// file becomes searchable and fetchable, and a missing path fails the
+// batch before anything is published.
+func TestPublishFilesBatch(t *testing.T) {
+	fss := livePFS(t, 2)
+	dir := t.TempDir()
+	paths := make([]string, 5)
+	for i := range paths {
+		paths[i] = filepath.Join(dir, "note"+string(rune('a'+i))+".txt")
+		body := "batched corpus shared vocabulary item " + string(rune('a'+i))
+		if err := os.WriteFile(paths[i], []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	docs, err := fss[0].PublishFiles(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != len(paths) {
+		t.Fatalf("published %d docs for %d paths", len(docs), len(paths))
+	}
+	if got := fss[0].peer.LocalDocs(); got != len(paths) {
+		t.Fatalf("LocalDocs = %d, want %d", got, len(paths))
+	}
+
+	// The other peer's semantic directory fills with the whole batch.
+	d := fss[1].MkDir("batched corpus")
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) && d.Len() < len(paths) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	entries := d.Open()
+	if len(entries) != len(paths) {
+		t.Fatalf("directory has %d entries, want %d", len(entries), len(paths))
+	}
+	resp, err := http.Get(entries[0].URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if len(body) == 0 {
+		t.Fatal("served file is empty")
+	}
+
+	// A missing path fails the whole batch atomically.
+	before := fss[1].peer.LocalDocs()
+	if _, err := fss[1].PublishFiles([]string{paths[0], "/no/such/file.txt"}); err == nil {
+		t.Fatal("batch with a missing file accepted")
+	}
+	if fss[1].peer.LocalDocs() != before {
+		t.Fatal("failed batch published something")
+	}
+}

@@ -57,8 +57,16 @@ type Op struct {
 
 // encodeRecord frames one op into a WAL record.
 func encodeRecord(op Op) []byte {
+	return encodeRecordInto(nil, op)
+}
+
+// encodeRecordInto appends op's encoded record to dst (batch appends
+// build one contiguous buffer for a single write call).
+func encodeRecordInto(dst []byte, op Op) []byte {
 	payloadLen := 1 + 8 + 4 + 4 + len(op.Data)
-	buf := make([]byte, 8+payloadLen)
+	start := len(dst)
+	dst = append(dst, make([]byte, 8+payloadLen)...)
+	buf := dst[start:]
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(payloadLen))
 	payload := buf[8:]
 	payload[0] = byte(op.Kind)
@@ -67,7 +75,7 @@ func encodeRecord(op Op) []byte {
 	binary.LittleEndian.PutUint32(payload[13:17], op.Seq)
 	copy(payload[17:], op.Data)
 	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
-	return buf
+	return dst
 }
 
 // errBadRecord marks a torn/corrupt record (recovery truncates there;

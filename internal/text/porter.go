@@ -20,6 +20,30 @@ func Stem(word string) string {
 		}
 	}
 	w := []byte(word)
+	return string(stemSteps(w))
+}
+
+// StemBytes stems a lowercase word in place and returns the stem, which
+// shares w's storage. No Porter rule ever nets a longer word than its
+// input (every replacement suffix is at most as long as the suffix it
+// replaces, and step 1b's 'e' restoration follows the removal of a
+// longer ending), so the result always fits in w — len(result) <=
+// len(w) even when cap(w) == len(w). Words containing bytes outside
+// 'a'..'z' are returned unchanged.
+func StemBytes(w []byte) []byte {
+	if len(w) <= 2 {
+		return w
+	}
+	for i := 0; i < len(w); i++ {
+		c := w[i]
+		if c < 'a' || c > 'z' {
+			return w
+		}
+	}
+	return stemSteps(w)
+}
+
+func stemSteps(w []byte) []byte {
 	w = step1a(w)
 	w = step1b(w)
 	w = step1c(w)
@@ -28,7 +52,7 @@ func Stem(word string) string {
 	w = step4(w)
 	w = step5a(w)
 	w = step5b(w)
-	return string(w)
+	return w
 }
 
 // isCons reports whether w[i] is a consonant under Porter's definition:

@@ -2,6 +2,7 @@ package text
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -31,6 +32,31 @@ func TestTokenizeUnicode(t *testing.T) {
 	want := []string{"café", "au", "lait", "naïve", "résumé"}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+// Regression: the 2–64 length bound is in runes, not bytes. A one-rune
+// accented token used to slip through (2 bytes >= 2) and a 33..64-rune
+// non-ASCII token used to be dropped (>64 bytes).
+func TestTokenizeRuneBounds(t *testing.T) {
+	if got := Tokenize("é"); len(got) != 0 {
+		t.Fatalf("1-rune token %v should be dropped", got)
+	}
+	long := strings.Repeat("é", 40) // 40 runes, 80 bytes
+	if got := Tokenize(long); len(got) != 1 || got[0] != long {
+		t.Fatalf("40-rune non-ASCII token mis-filtered: %v", got)
+	}
+	edge := strings.Repeat("é", 64)
+	if got := Tokenize(edge); len(got) != 1 {
+		t.Fatalf("64-rune token should be kept: %v", got)
+	}
+	over := strings.Repeat("é", 65)
+	if got := Tokenize(over); len(got) != 0 {
+		t.Fatalf("65-rune token should be dropped: %v", got)
+	}
+	// Uppercase non-ASCII still lowercases.
+	if got := Tokenize("ÉTÉ"); len(got) != 1 || got[0] != "été" {
+		t.Fatalf("non-ASCII lowercasing broken: %v", got)
 	}
 }
 
@@ -172,6 +198,80 @@ func TestStemIdempotentOnCommonWords(t *testing.T) {
 		if once != twice {
 			t.Errorf("Stem not stable for %q: %q -> %q", w, once, twice)
 		}
+	}
+}
+
+// StemBytes must agree with Stem on every vector and work fully in
+// place: the stem shares the input's storage and never grows past it.
+func TestStemBytesMatchesStem(t *testing.T) {
+	words := []string{
+		"running", "caresses", "ponies", "relational", "vietnamization",
+		"hopping", "filing", "happy", "sensibiliti", "controll",
+		"at", "résumé", "x86", "sized", "agreed",
+	}
+	for _, w := range words {
+		buf := []byte(w)
+		got := StemBytes(buf)
+		if string(got) != Stem(w) {
+			t.Errorf("StemBytes(%q) = %q, want %q", w, got, Stem(w))
+		}
+		if len(got) > len(w) {
+			t.Errorf("StemBytes(%q) grew: %d > %d bytes", w, len(got), len(w))
+		}
+		if len(got) > 0 && &got[0] != &buf[0] {
+			t.Errorf("StemBytes(%q) reallocated instead of stemming in place", w)
+		}
+	}
+}
+
+func TestStemBytesProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		w := make([]byte, 0, len(raw))
+		for _, b := range raw {
+			w = append(w, 'a'+b%26)
+		}
+		if len(w) == 0 {
+			return true
+		}
+		want := Stem(string(w))
+		// Full-capacity slice: in-place stemming may not write past len.
+		got := StemBytes(w[:len(w):len(w)])
+		return string(got) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A reused Analyzer must produce the same output as the one-shot
+// package functions, and its steady state must not allocate per token.
+func TestAnalyzerReuse(t *testing.T) {
+	docs := []string{
+		"The runners were running quickly through the gossiping communities",
+		"Bloom filters summarize each peer's inverted index",
+		"café au lait; naïve résumé",
+		"running gossip running gossip",
+	}
+	var a Analyzer
+	for _, d := range docs {
+		if got, want := a.Terms(d, nil), Terms(d); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Analyzer.Terms(%q) = %v, want %v", d, got, want)
+		}
+		if got, want := a.TermFreqs(d, nil), TermFreqs(d); !reflect.DeepEqual(got, want) {
+			t.Fatalf("Analyzer.TermFreqs(%q) = %v, want %v", d, got, want)
+		}
+	}
+	// Steady state: same vocabulary, reused destination map — zero allocs.
+	doc := docs[0]
+	m := a.TermFreqs(doc, nil)
+	allocs := testing.AllocsPerRun(100, func() {
+		for k := range m {
+			delete(m, k)
+		}
+		a.TermFreqs(doc, m)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state TermFreqs allocates %.0f times per doc, want 0", allocs)
 	}
 }
 

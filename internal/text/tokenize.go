@@ -8,30 +8,134 @@ package text
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
+
+// Token length bounds, in runes: single letters carry no retrieval signal
+// and unbounded tokens are usually markup debris.
+const (
+	minTokenRunes = 2
+	maxTokenRunes = 64
+)
+
+// Analyzer runs the tokenize → stop-word → stem pipeline with a reusable
+// token buffer and a term intern table, so a long-lived worker allocates
+// once per distinct term it ever sees — not per occurrence. The zero
+// value is ready to use. An Analyzer is not safe for concurrent use;
+// give each worker its own.
+type Analyzer struct {
+	tok    []byte            // current-token scratch, lowercase UTF-8
+	intern map[string]string // canonical term strings (bounded by vocabulary)
+}
+
+// internTerm returns the canonical string for the term bytes. The map
+// lookup with a string([]byte) key does not allocate; only the first
+// sighting of a term pays for its string.
+func (a *Analyzer) internTerm(b []byte) string {
+	if s, ok := a.intern[string(b)]; ok {
+		return s
+	}
+	if a.intern == nil {
+		a.intern = make(map[string]string)
+	}
+	s := string(b)
+	a.intern[s] = s
+	return s
+}
+
+// scan splits s into lowercase tokens of minTokenRunes..maxTokenRunes
+// runes and calls yield with each. The yielded slice is the analyzer's
+// scratch buffer: valid only until yield returns, and safe to mutate or
+// shrink in place (stemming does both).
+//
+// ASCII — the overwhelming majority of indexed text — is handled
+// byte-at-a-time with arithmetic lowercasing; only bytes >= 0x80 pay for
+// rune decoding and unicode.ToLower.
+func (a *Analyzer) scan(s string, yield func(tok []byte)) {
+	tok := a.tok[:0]
+	runes := 0
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			i++
+			switch {
+			case c >= 'a' && c <= 'z' || c >= '0' && c <= '9':
+				tok = append(tok, c)
+				runes++
+				continue
+			case c >= 'A' && c <= 'Z':
+				tok = append(tok, c+('a'-'A'))
+				runes++
+				continue
+			}
+		} else {
+			r, n := utf8.DecodeRuneInString(s[i:])
+			i += n
+			if unicode.IsLetter(r) || unicode.IsDigit(r) {
+				tok = utf8.AppendRune(tok, unicode.ToLower(r))
+				runes++
+				continue
+			}
+		}
+		// Separator: emit the pending token.
+		if runes >= minTokenRunes && runes <= maxTokenRunes {
+			yield(tok)
+		}
+		tok = tok[:0]
+		runes = 0
+	}
+	if runes >= minTokenRunes && runes <= maxTokenRunes {
+		yield(tok)
+	}
+	a.tok = tok[:0] // keep the grown buffer for the next document
+}
+
+// Terms appends the document's full term stream — tokenized, stop words
+// dropped, stemmed — to dst and returns it. This is the exact stream
+// PlanetP feeds into inverted indexes and Bloom filters.
+func (a *Analyzer) Terms(s string, dst []string) []string {
+	a.scan(s, func(tok []byte) {
+		if _, stop := stopWords[string(tok)]; stop {
+			return
+		}
+		st := StemBytes(tok)
+		if len(st) >= minTokenRunes {
+			dst = append(dst, a.internTerm(st))
+		}
+	})
+	return dst
+}
+
+// TermFreqs accumulates the document's term → occurrence counts into dst
+// (allocated when nil) and returns it, the unit the inverted index
+// stores. Only first occurrences of a term allocate — repeat hits
+// resolve through the map's no-copy string([]byte) lookup path.
+func (a *Analyzer) TermFreqs(s string, dst map[string]int) map[string]int {
+	if dst == nil {
+		dst = make(map[string]int)
+	}
+	a.scan(s, func(tok []byte) {
+		if _, stop := stopWords[string(tok)]; stop {
+			return
+		}
+		st := StemBytes(tok)
+		if len(st) < minTokenRunes {
+			return
+		}
+		dst[a.internTerm(st)]++
+	})
+	return dst
+}
 
 // Tokenize splits s into lowercase alphanumeric tokens. Everything that is
 // not a letter or digit separates tokens; tokens shorter than 2 runes or
-// longer than 64 are discarded (single letters carry no retrieval signal
-// and unbounded tokens are usually markup debris).
+// longer than 64 runes are discarded.
 func Tokenize(s string) []string {
+	var a Analyzer
 	var out []string
-	var b strings.Builder
-	flush := func() {
-		if n := b.Len(); n >= 2 && n <= 64 {
-			out = append(out, b.String())
-		}
-		b.Reset()
-	}
-	for _, r := range s {
-		switch {
-		case unicode.IsLetter(r) || unicode.IsDigit(r):
-			b.WriteRune(unicode.ToLower(r))
-		default:
-			flush()
-		}
-	}
-	flush()
+	a.scan(s, func(tok []byte) {
+		out = append(out, string(tok))
+	})
 	return out
 }
 
@@ -66,30 +170,15 @@ func IsStopWord(tok string) bool {
 // tests and diagnostics).
 func StopWordCount() int { return len(stopWords) }
 
-// Terms runs the full pipeline: tokenize, drop stop words, stem. This is
-// the exact term stream PlanetP feeds into inverted indexes and Bloom
-// filters.
+// Terms runs the full pipeline: tokenize, drop stop words, stem.
 func Terms(s string) []string {
-	toks := Tokenize(s)
-	out := toks[:0]
-	for _, tok := range toks {
-		if IsStopWord(tok) {
-			continue
-		}
-		stemmed := Stem(tok)
-		if len(stemmed) >= 2 {
-			out = append(out, stemmed)
-		}
-	}
-	return out
+	var a Analyzer
+	return a.Terms(s, nil)
 }
 
 // TermFreqs runs the pipeline and returns term → occurrence-count for one
-// document, the unit the inverted index stores.
+// document.
 func TermFreqs(s string) map[string]int {
-	freqs := make(map[string]int)
-	for _, t := range Terms(s) {
-		freqs[t]++
-	}
-	return freqs
+	var a Analyzer
+	return a.TermFreqs(s, nil)
 }

@@ -24,6 +24,11 @@
 //	// ... once gossip converges ...
 //	docs, _ := bob.Search("epidemic replicated", 10)
 //
+// Bulk ingest goes through Peer.PublishBatch (and FS.PublishFiles for
+// PFS): a batch is analyzed on all cores, committed to the write-ahead
+// log as one group-committed append, and gossiped as a single filter
+// update — publishing N documents costs one summarization instead of N.
+//
 // The internal packages contain the substrates (Bloom filters, Golomb
 // coding, the text pipeline, the gossip engine, the discrete-event
 // simulator used for the paper's experiments); this package re-exports

@@ -3,8 +3,9 @@
 # tests for every package. Run from anywhere inside the repo.
 #
 #   scripts/check.sh        # full gate
-#   scripts/check.sh bench  # Table 1 + query fast-path benchmarks,
-#                           # results written to BENCH_query.json
+#   scripts/check.sh bench  # Table 1 + query fast-path benchmarks to
+#                           # BENCH_query.json, ingest throughput
+#                           # benchmarks to BENCH_ingest.json
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -14,6 +15,10 @@ if [ "${1:-}" = "bench" ]; then
 	echo "== query benchmarks (benchtime ${BENCHTIME}) -> BENCH_query.json"
 	go test -run='^$' -bench='Table1|RankPeers|IPF|RankedAllocs|RankedGroup' \
 		-benchtime="$BENCHTIME" -benchmem -json . | tee BENCH_query.json |
+		grep -o '"Output":"Benchmark[^"]*' | sed 's/"Output":"//;s/\\t/\t/g;s/\\n$//' || true
+	echo "== ingest benchmarks (benchtime ${BENCHTIME}) -> BENCH_ingest.json"
+	go test -run='^$' -bench='Ingest' \
+		-benchtime="$BENCHTIME" -benchmem -json . | tee BENCH_ingest.json |
 		grep -o '"Output":"Benchmark[^"]*' | sed 's/"Output":"//;s/\\t/\t/g;s/\\n$//' || true
 	echo "== bench OK"
 	exit 0
@@ -35,6 +40,11 @@ go test -race ./...
 echo "== crash-recovery smoke"
 go test -race -run 'CrashPoint|Durable|RestartUnderFaults' \
 	./internal/store/ ./internal/core/ ./internal/gossipsim/
+
+# Bench smoke: every root-package benchmark must still compile and
+# survive one iteration (full timings come from `scripts/check.sh bench`).
+echo "== bench smoke (one iteration per benchmark)"
+go test -run='^$' -bench=. -benchtime=1x . >/dev/null
 
 # Fuzz smoke: run every fuzz target briefly. Go allows only one -fuzz
 # pattern per invocation, so iterate target by target; -run='^$' skips
