@@ -1,0 +1,304 @@
+// Command planetp-loadgen replays a seeded Zipfian query mix (plus a
+// configurable publish fraction) against a live PlanetP cluster's
+// serving tier at a fixed open-loop arrival rate, and reports QPS,
+// shed/error rates, and p50/p99/p999 latency.
+//
+//	# two nodes serving on :8081/:8082, 300 req/s for 10s, 5% batched publishes
+//	planetp-loadgen -targets 127.0.0.1:8081,127.0.0.1:8082 \
+//	    -rate 300 -duration 10s -publish-frac 0.05 -out BENCH_serve.json
+//
+// The arrival process is OPEN LOOP: requests launch on schedule whether
+// or not earlier ones have returned, exactly like independent users —
+// so an overloaded node cannot hide behind client back-pressure; it
+// must shed (429) or its tail latency shows it. Query popularity and
+// document vocabulary are Zipf-distributed (-zipf-s), and every run
+// with the same -seed replays the same request sequence.
+//
+// Results go to stdout as a table; -out additionally writes the full
+// JSON report (BENCH_serve.json in the repo's bench flow).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// searchReq/publishReq mirror the serve package's wire types (kept
+// local: the load generator speaks only the public HTTP API).
+type searchReq struct {
+	Query string `json:"query"`
+	K     int    `json:"k,omitempty"`
+}
+
+type publishBatchReq struct {
+	XMLs []string `json:"xmls"`
+}
+
+// report is the JSON written by -out.
+type report struct {
+	Targets     []string     `json:"targets"`
+	OfferedRate float64      `json:"offered_rate"`
+	DurationS   float64      `json:"duration_s"`
+	Seed        int64        `json:"seed"`
+	ZipfS       float64      `json:"zipf_s"`
+	PublishFrac float64      `json:"publish_frac"`
+	BatchSize   int          `json:"batch_size"`
+	Sent        int64        `json:"sent"`
+	AchievedQPS float64      `json:"achieved_qps"`
+	OKRate      float64      `json:"ok_rate"`
+	ShedRate    float64      `json:"shed_rate"`
+	ErrorRate   float64      `json:"error_rate"`
+	CacheHits   int64        `json:"cache_hits"`
+	Overall     latencyStats `json:"overall"`
+	Search      latencyStats `json:"search"`
+	Publish     latencyStats `json:"publish"`
+}
+
+func main() {
+	targets := flag.String("targets", "127.0.0.1:8080", "comma-separated host:port list of node APIs")
+	rate := flag.Float64("rate", 100, "open-loop arrival rate (requests/second)")
+	duration := flag.Duration("duration", 10*time.Second, "measurement duration")
+	k := flag.Int("k", 10, "top-k per search")
+	vocabSize := flag.Int("vocab", 2000, "vocabulary size (distinct words)")
+	queries := flag.Int("queries", 1000, "distinct query population size")
+	queryTerms := flag.Int("query-terms", 2, "terms per query")
+	docTerms := flag.Int("doc-terms", 24, "words per published document")
+	zipfS := flag.Float64("zipf-s", 1.1, "Zipf skew for query and word popularity (> 1)")
+	pubFrac := flag.Float64("publish-frac", 0.05, "fraction of arrivals that are publish-batch requests")
+	batch := flag.Int("batch", 16, "documents per publish-batch request")
+	preload := flag.Int("preload", 256, "documents published before measuring (0 = none)")
+	seed := flag.Int64("seed", 1, "workload seed (same seed = same request sequence)")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request timeout")
+	wait := flag.Duration("wait", 0, "poll /healthz on every target until ready (0 = no wait)")
+	out := flag.String("out", "", "write the JSON report here (\"\" = stdout summary only)")
+	flag.Parse()
+
+	urls := make([]string, 0)
+	for _, t := range strings.Split(*targets, ",") {
+		t = strings.TrimSpace(t)
+		if t == "" {
+			continue
+		}
+		if !strings.HasPrefix(t, "http") {
+			t = "http://" + t
+		}
+		urls = append(urls, t)
+	}
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "no targets")
+		os.Exit(2)
+	}
+
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConnsPerHost: 256,
+			MaxConnsPerHost:     0,
+		},
+	}
+
+	if *wait > 0 {
+		if err := waitReady(client, urls, *wait); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	w := newWorkload(*seed, *vocabSize, *queries, *queryTerms, *docTerms, *k, *batch, *zipfS, *pubFrac)
+
+	if *preload > 0 {
+		if err := preloadDocs(client, urls, w, *preload); err != nil {
+			fmt.Fprintln(os.Stderr, "preload:", err)
+			os.Exit(1)
+		}
+	}
+
+	rec := &recorder{}
+	sent := dispatch(client, urls, w, rec, *rate, *duration)
+
+	rep := report{
+		Targets:     urls,
+		OfferedRate: *rate,
+		DurationS:   duration.Seconds(),
+		Seed:        *seed,
+		ZipfS:       *zipfS,
+		PublishFrac: *pubFrac,
+		BatchSize:   *batch,
+		Sent:        sent,
+		CacheHits:   rec.cacheHits(),
+		Overall:     rec.summarize(""),
+		Search:      rec.summarize("search"),
+		Publish:     rec.summarize("publish"),
+	}
+	rep.AchievedQPS = float64(rep.Overall.OK+rep.Overall.Shed+rep.Overall.Errors) / duration.Seconds()
+	if rep.Overall.Count > 0 {
+		rep.OKRate = float64(rep.Overall.OK) / float64(rep.Overall.Count)
+		rep.ShedRate = float64(rep.Overall.Shed) / float64(rep.Overall.Count)
+		rep.ErrorRate = float64(rep.Overall.Errors) / float64(rep.Overall.Count)
+	}
+
+	printSummary(rep)
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("report written to %s\n", *out)
+	}
+
+	// Non-zero exit when the run was all failures, so scripted smoke
+	// runs notice a dead cluster.
+	if rep.Overall.OK == 0 {
+		fmt.Fprintln(os.Stderr, "no request succeeded")
+		os.Exit(1)
+	}
+}
+
+// waitReady polls every target's /healthz until 200 or the deadline.
+func waitReady(client *http.Client, urls []string, d time.Duration) error {
+	deadline := time.Now().Add(d)
+	for _, u := range urls {
+		for {
+			resp, err := client.Get(u + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("target %s not ready after %v (%v)", u, d, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// preloadDocs publishes n documents round-robin across the targets in
+// workload-sized batches, so measured searches run against real content.
+func preloadDocs(client *http.Client, urls []string, w *workload, n int) error {
+	for i := 0; n > 0; i++ {
+		batch := w.batchSize
+		if batch > n {
+			batch = n
+		}
+		xmls := make([]string, batch)
+		for j := range xmls {
+			xmls[j] = w.doc()
+		}
+		body, _ := json.Marshal(publishBatchReq{XMLs: xmls})
+		resp, err := client.Post(urls[i%len(urls)]+"/v1/publish-batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("preload batch status %d", resp.StatusCode)
+		}
+		n -= batch
+	}
+	return nil
+}
+
+// dispatch runs the open-loop arrival process: one request is launched
+// at every tick of the fixed schedule, round-robin across targets,
+// regardless of how many earlier requests are still in flight. Returns
+// the number of requests sent.
+func dispatch(client *http.Client, urls []string, w *workload, rec *recorder, rate float64, d time.Duration) int64 {
+	interarrival := time.Duration(float64(time.Second) / rate)
+	var wg sync.WaitGroup
+	var sent int64
+	start := time.Now()
+	next := start
+	deadline := start.Add(d)
+	for time.Now().Before(deadline) {
+		o := w.next() // sampled single-threaded: deterministic sequence
+		target := urls[int(sent)%len(urls)]
+		wg.Add(1)
+		sent++
+		go func() {
+			defer wg.Done()
+			rec.add(send(client, target, o))
+		}()
+		next = next.Add(interarrival)
+		if sleep := time.Until(next); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		// Behind schedule: launch the next arrival immediately (open
+		// loop never queues client-side).
+	}
+	wg.Wait()
+	return sent
+}
+
+// send performs one request and classifies the outcome.
+func send(client *http.Client, target string, o op) outcome {
+	var (
+		body []byte
+		url  string
+	)
+	switch o.kind {
+	case "publish":
+		body, _ = json.Marshal(publishBatchReq{XMLs: o.xmls})
+		url = target + "/v1/publish-batch"
+	default:
+		body, _ = json.Marshal(searchReq{Query: o.query, K: o.k})
+		url = target + "/v1/search"
+	}
+	start := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	us := time.Since(start).Microseconds()
+	if err != nil {
+		return outcome{kind: o.kind, us: us, status: 0}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return outcome{
+		kind: o.kind, us: us, status: resp.StatusCode,
+		cacheHit: resp.Header.Get("X-Planetp-Cache") == "hit",
+	}
+}
+
+// printSummary renders the human-readable table.
+func printSummary(r report) {
+	fmt.Printf("targets=%d offered=%.0f req/s duration=%.1fs sent=%d achieved=%.1f req/s\n",
+		len(r.Targets), r.OfferedRate, r.DurationS, r.Sent, r.AchievedQPS)
+	fmt.Printf("ok=%.1f%% shed=%.1f%% errors=%.1f%% cache-hits=%d\n",
+		100*r.OKRate, 100*r.ShedRate, 100*r.ErrorRate, r.CacheHits)
+	row := func(name string, st latencyStats) {
+		fmt.Printf("%-8s n=%-6d ok=%-6d shed=%-5d err=%-4d p50=%s p90=%s p99=%s p999=%s max=%s\n",
+			name, st.Count, st.OK, st.Shed, st.Errors,
+			fmtUS(st.P50us), fmtUS(st.P90us), fmtUS(st.P99us), fmtUS(st.P999us), fmtUS(st.MaxUs))
+	}
+	row("overall", r.Overall)
+	row("search", r.Search)
+	row("publish", r.Publish)
+}
+
+// fmtUS renders microseconds human-readably.
+func fmtUS(us int64) string {
+	switch {
+	case us >= 1_000_000:
+		return fmt.Sprintf("%.2fs", float64(us)/1e6)
+	case us >= 1_000:
+		return fmt.Sprintf("%.1fms", float64(us)/1e3)
+	default:
+		return fmt.Sprintf("%dus", us)
+	}
+}

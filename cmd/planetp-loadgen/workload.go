@@ -1,0 +1,193 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The workload models what Jaho et al.'s gossip-search analysis assumes
+// and the PlanetP paper never measures: a large client population whose
+// query popularity is Zipf-distributed. Queries are drawn from a fixed
+// population of distinct queries ranked by popularity — rank 0 is asked
+// far more often than rank 1000 — so a generation-stamped result cache
+// sees realistic re-ask rates, and published documents draw their words
+// from the same skewed vocabulary so popular queries actually match
+// content.
+
+// workload derives every request deterministically from one seed: the
+// dispatcher samples it single-threaded, so runs with equal flags replay
+// the same request sequence.
+type workload struct {
+	rng        *rand.Rand
+	queryZipf  *rand.Zipf // query rank ~ Zipf over [0, queries)
+	wordZipf   *rand.Zipf // document word rank ~ Zipf over [0, vocab)
+	vocab      int
+	queryTerms int
+	docTerms   int
+	k          int
+	pubFrac    float64
+	batchSize  int
+	docSeq     int // unique suffix so every published doc is fresh
+}
+
+func newWorkload(seed int64, vocab, queries, queryTerms, docTerms, k, batchSize int, zipfS float64, pubFrac float64) *workload {
+	rng := rand.New(rand.NewSource(seed))
+	return &workload{
+		rng:        rng,
+		queryZipf:  rand.NewZipf(rng, zipfS, 1, uint64(queries-1)),
+		wordZipf:   rand.NewZipf(rng, zipfS, 1, uint64(vocab-1)),
+		vocab:      vocab,
+		queryTerms: queryTerms,
+		docTerms:   docTerms,
+		k:          k,
+		pubFrac:    pubFrac,
+		batchSize:  batchSize,
+	}
+}
+
+// word renders vocabulary rank i (rank 0 = most popular).
+func word(i int) string { return fmt.Sprintf("w%05d", i) }
+
+// query renders the query of popularity rank r: queryTerms consecutive
+// vocabulary words starting at rank r, so hot queries are built from hot
+// words and distinct ranks give distinct term sets.
+func (w *workload) query(r int) string {
+	terms := make([]string, w.queryTerms)
+	for t := range terms {
+		terms[t] = word((r + t) % w.vocab)
+	}
+	return strings.Join(terms, " ")
+}
+
+// doc renders one fresh document with docTerms Zipf-sampled words (plus
+// a unique token so republishing is never an idempotent no-op).
+func (w *workload) doc() string {
+	var b strings.Builder
+	w.docSeq++
+	fmt.Fprintf(&b, "<doc>d%08d", w.docSeq)
+	for i := 0; i < w.docTerms; i++ {
+		b.WriteByte(' ')
+		b.WriteString(word(int(w.wordZipf.Uint64())))
+	}
+	b.WriteString("</doc>")
+	return b.String()
+}
+
+// op is one sampled request, ready to send.
+type op struct {
+	kind  string // "search" or "publish"
+	query string // search only
+	k     int
+	xmls  []string // publish only
+}
+
+// next samples the next arrival's request.
+func (w *workload) next() op {
+	if w.rng.Float64() < w.pubFrac {
+		xmls := make([]string, w.batchSize)
+		for i := range xmls {
+			xmls[i] = w.doc()
+		}
+		return op{kind: "publish", xmls: xmls}
+	}
+	return op{kind: "search", query: w.query(int(w.queryZipf.Uint64())), k: w.k}
+}
+
+// --- result accounting ---
+
+// outcome is one completed request.
+type outcome struct {
+	kind     string
+	us       int64
+	status   int // HTTP status; 0 = transport error
+	cacheHit bool
+}
+
+// recorder accumulates outcomes from the request goroutines.
+type recorder struct {
+	mu   sync.Mutex
+	outs []outcome
+}
+
+func (r *recorder) add(o outcome) {
+	r.mu.Lock()
+	r.outs = append(r.outs, o)
+	r.mu.Unlock()
+}
+
+// latencyStats summarizes completed-OK latencies for one op kind.
+type latencyStats struct {
+	Count  int64 `json:"count"`
+	OK     int64 `json:"ok"`
+	Shed   int64 `json:"shed"`
+	Errors int64 `json:"errors"`
+	P50us  int64 `json:"p50_us"`
+	P90us  int64 `json:"p90_us"`
+	P99us  int64 `json:"p99_us"`
+	P999us int64 `json:"p999_us"`
+	MaxUs  int64 `json:"max_us"`
+	MeanUs int64 `json:"mean_us"`
+}
+
+// quantile returns the q-quantile of sorted (nearest-rank).
+func quantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// summarize folds outcomes of one kind ("" = all).
+func (r *recorder) summarize(kind string) latencyStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var st latencyStats
+	var okLat []int64
+	var sum int64
+	for _, o := range r.outs {
+		if kind != "" && o.kind != kind {
+			continue
+		}
+		st.Count++
+		switch {
+		case o.status == 429:
+			st.Shed++
+		case o.status >= 200 && o.status < 300:
+			st.OK++
+			okLat = append(okLat, o.us)
+			sum += o.us
+			if o.us > st.MaxUs {
+				st.MaxUs = o.us
+			}
+		default:
+			st.Errors++
+		}
+	}
+	sort.Slice(okLat, func(i, j int) bool { return okLat[i] < okLat[j] })
+	st.P50us = quantile(okLat, 0.50)
+	st.P90us = quantile(okLat, 0.90)
+	st.P99us = quantile(okLat, 0.99)
+	st.P999us = quantile(okLat, 0.999)
+	if st.OK > 0 {
+		st.MeanUs = sum / st.OK
+	}
+	return st
+}
+
+// cacheHits counts search outcomes answered from the serving tier's
+// result cache.
+func (r *recorder) cacheHits() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n int64
+	for _, o := range r.outs {
+		if o.cacheHit {
+			n++
+		}
+	}
+	return n
+}

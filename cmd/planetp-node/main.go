@@ -1,12 +1,38 @@
-// Command planetp-node runs a live PlanetP peer with an interactive
-// shell. Multiple instances on one machine (or LAN) form a community.
+// Command planetp-node runs a live PlanetP peer: a gossiping community
+// member that fronts its local index and the replicated global directory
+// with a JSON-over-HTTP serving API ("every peer is a web server"), plus
+// an optional interactive shell. Multiple instances on one machine (or
+// LAN) form a community.
 //
-//	# first member
-//	planetp-node -id 0 -capacity 16 -listen 127.0.0.1:7001
+//	# first member, API on :8081
+//	planetp-node -id 0 -capacity 16 -gossip 127.0.0.1:7001 -listen 127.0.0.1:8081
 //	# subsequent members
-//	planetp-node -id 1 -capacity 16 -listen 127.0.0.1:7002 -join 127.0.0.1:7001
+//	planetp-node -id 1 -capacity 16 -gossip 127.0.0.1:7002 -listen 127.0.0.1:8082 \
+//	    -join 127.0.0.1:7001
 //
-// Shell commands:
+// Flags:
+//
+//	-id N             peer id (unique, < capacity)
+//	-capacity N       community id-space size (default 64)
+//	-listen ADDR      HTTP API address; serves POST /v1/search,
+//	                  POST /v1/publish, POST /v1/publish-batch,
+//	                  GET /v1/doc/{id}, GET /v1/peers, GET /healthz, and
+//	                  GET /debug/metrics on one mux ("" = no API)
+//	-gossip ADDR      gossip transport address ("" = ephemeral loopback)
+//	-join ADDR        gossip address of an existing member to bootstrap from
+//	-name S           peer name
+//	-interval D       base gossip interval T_g (default 30s)
+//	-slow             mark this peer modem-class
+//	-structured       index terms scoped by XML element (tag:word queries)
+//	-restore PATH     restore a previous incarnation from a snapshot file
+//	-data DIR         durable data directory (WAL + snapshots)
+//	-headless         no interactive shell; run until SIGINT/SIGTERM
+//	-max-inflight N   admission limit: concurrent API requests before
+//	                  shedding with 429 (default 256)
+//	-drain-timeout D  how long SIGTERM waits for in-flight API requests
+//	                  (default 10s)
+//
+// Shell commands (omit -headless):
 //
 //	publish <xml...>      publish an XML snippet
 //	file <path>           publish a local file through PFS
@@ -23,21 +49,16 @@
 //	metrics               dump the metrics registry as JSON
 //	quit
 //
-// Start with -restore <path> to resume a previous incarnation from a
-// snapshot (the new epoch supersedes the old one automatically). Queries
-// support the structured syntax tag:word when -structured is on.
-//
-// Start with -data <dir> for crash-safe durability: every publish and
-// remove is written to a checksummed write-ahead log before it returns,
-// folded into atomic snapshots, and replayed on the next start — no
-// operator-managed snapshot files or epoch counters needed. SIGINT and
-// SIGTERM shut the peer down gracefully (final snapshot, then exit); a
-// kill -9 loses at most the last unsynced append, which recovery
-// truncates and reports at the next start.
+// Shutdown is graceful in every mode: SIGINT/SIGTERM (or quit) first
+// drains the API — new requests get 503, in-flight ones finish under
+// -drain-timeout — and then stops the peer, folding the final durable
+// snapshot when -data is set. A kill -9 loses at most the last unsynced
+// WAL append, which recovery truncates and reports at the next start.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -46,6 +67,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -55,15 +77,18 @@ import (
 func main() {
 	id := flag.Int("id", 0, "peer id (unique, < capacity)")
 	capacity := flag.Int("capacity", 64, "community id-space size")
-	listen := flag.String("listen", "127.0.0.1:0", "listen address")
-	join := flag.String("join", "", "address of an existing member to bootstrap from")
+	listen := flag.String("listen", "127.0.0.1:0", "HTTP API address serving /v1/* and /debug/metrics (\"\" = no API)")
+	gossipAddr := flag.String("gossip", "127.0.0.1:0", "gossip transport listen address")
+	join := flag.String("join", "", "gossip address of an existing member to bootstrap from")
 	name := flag.String("name", "", "peer name")
 	interval := flag.Duration("interval", 30*time.Second, "base gossip interval (T_g)")
 	slow := flag.Bool("slow", false, "mark this peer modem-class for bandwidth-aware gossip")
 	structured := flag.Bool("structured", false, "index terms scoped by XML element (tag:word queries)")
 	restore := flag.String("restore", "", "restore a previous incarnation from a snapshot file")
 	data := flag.String("data", "", "durable data directory (WAL + snapshots; recovers on restart)")
-	httpAddr := flag.String("http", "", "serve GET /debug/metrics on this address (\"\" = off)")
+	headless := flag.Bool("headless", false, "no interactive shell; serve until SIGINT/SIGTERM")
+	maxInflight := flag.Int("max-inflight", 256, "concurrent API requests admitted before shedding with 429")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "SIGTERM wait for in-flight API requests")
 	flag.Parse()
 
 	var snapshot []byte
@@ -90,7 +115,7 @@ func main() {
 	peer, err := planetp.NewPeer(planetp.Config{
 		ID:              planetp.PeerID(*id),
 		Name:            *name,
-		ListenAddr:      *listen,
+		ListenAddr:      *gossipAddr,
 		Capacity:        *capacity,
 		Class:           class,
 		Gossip:          planetp.GossipConfig{BaseInterval: *interval, MaxInterval: 2 * *interval},
@@ -106,53 +131,88 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	defer peer.Stop()
 	if *data != "" {
 		fmt.Println(peer.Recovery())
 	}
 
 	fs, err := planetp.NewFS(peer)
 	if err != nil {
+		peer.Stop()
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	defer fs.Close()
 
 	if *join != "" {
-		if err := peer.Join(*join); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		// Retry briefly: in a rolling cluster boot the seed member may
+		// not have bound its gossip port yet.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			err := peer.Join(*join)
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			time.Sleep(100 * time.Millisecond)
 		}
 	}
 	peer.Start()
-	fmt.Printf("%s listening on %s (id %d)\n", peer.Name(), peer.Addr(), peer.ID())
+	fmt.Printf("%s gossiping on %s (id %d)\n", peer.Name(), peer.Addr(), peer.ID())
 
-	// Graceful shutdown: stop gossiping, fold a final snapshot (when
-	// durable), close the transport, and exit.
-	sigs := make(chan os.Signal, 1)
-	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		s := <-sigs
-		fmt.Printf("\n%v: shutting down\n", s)
-		fs.Close()
-		peer.Stop()
-		os.Exit(0)
-	}()
-
-	if *httpAddr != "" {
-		mux := http.NewServeMux()
-		mux.HandleFunc("GET /debug/metrics", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			peer.Metrics().WriteJSON(w)
-		})
-		ln, err := net.Listen("tcp", *httpAddr)
+	// The serving tier: one mux carries the /v1 API, /healthz, and
+	// /debug/metrics.
+	var server *planetp.Server
+	if *listen != "" {
+		server = planetp.NewServer(peer, planetp.ServeConfig{MaxInFlight: *maxInflight})
+		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("metrics on http://%s/debug/metrics\n", ln.Addr())
-		go http.Serve(ln, mux)
+		fmt.Printf("api on http://%s/v1 (metrics at /debug/metrics)\n", ln.Addr())
+		go func() {
+			if err := server.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "api server:", err)
+			}
+		}()
 	}
+
+	// shutdown drains the API (stop accepting, finish in-flight under
+	// the deadline), then stops the peer — which folds the final
+	// durable snapshot — then closes the PFS mount. Idempotent: the
+	// signal handler and the shell's quit path share it.
+	var shutdownOnce sync.Once
+	shutdown := func() {
+		shutdownOnce.Do(func() {
+			if server != nil {
+				ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+				defer cancel()
+				if err := server.Shutdown(ctx); err != nil {
+					fmt.Fprintln(os.Stderr, "drain:", err)
+				}
+			}
+			fs.Close()
+			peer.Stop()
+		})
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	if *headless {
+		s := <-sigs
+		fmt.Printf("%v: draining and shutting down\n", s)
+		shutdown()
+		return
+	}
+	go func() {
+		s := <-sigs
+		fmt.Printf("\n%v: draining and shutting down\n", s)
+		shutdown()
+		os.Exit(0)
+	}()
+	defer shutdown()
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

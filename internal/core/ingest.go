@@ -21,9 +21,11 @@ import (
 // and a single filter diff + compressed payload is gossiped for the
 // batch instead of one per document.
 
-// errNoTerms is the single-document Publish failure; batches wrap it
-// with the offending position.
-var errNoTerms = errors.New("core: document has no indexable terms")
+// ErrNoTerms is the single-document Publish failure — the input yields
+// no indexable terms after parsing and stemming; batches wrap it with
+// the offending position. It marks a caller-input problem (the serving
+// tier maps it to 400, not 500).
+var ErrNoTerms = errors.New("core: document has no indexable terms")
 
 // ingestLatencyBounds buckets batch latency in microseconds.
 var ingestLatencyBounds = []int64{100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000}
@@ -103,9 +105,9 @@ func (p *Peer) analyzeBatch(xmls []string) ([]analyzed, error) {
 				releaseFreqs(out[j].freqs)
 			}
 			if len(xmls) == 1 {
-				return nil, errNoTerms
+				return nil, ErrNoTerms
 			}
-			return nil, fmt.Errorf("core: batch document %d: %w", i, errNoTerms)
+			return nil, fmt.Errorf("core: batch document %d: %w", i, ErrNoTerms)
 		}
 	}
 	return out, nil

@@ -126,7 +126,7 @@ func TestPublishBatchNoIndexableTerms(t *testing.T) {
 		t.Fatalf("single-doc error = %v", err)
 	}
 	_, err := p.PublishBatch([]string{`<a>good capybara content</a>`, `<b>!!!</b>`})
-	if !errors.Is(err, errNoTerms) {
+	if !errors.Is(err, ErrNoTerms) {
 		t.Fatalf("batch with a term-free doc: err = %v", err)
 	}
 	if p.LocalDocs() != 0 {

@@ -116,7 +116,6 @@ type Peer struct {
 	loopDone    chan struct{}
 	started     bool
 	closed      bool
-	searchesRun int
 
 	// Durable state (nil/zero unless Config.DataDir is set). replaying
 	// is only true inside NewPeer while recovery republishes logged
@@ -168,7 +167,12 @@ func NewPeer(cfg Config) (*Peer, error) {
 	p.searchCache = search.NewIPFCache()
 	p.registry.SetCache(p.searchCache)
 
-	tp, err := transport.New(cfg.ID, cfg.ListenAddr, (*handler)(p), p.resolveAddr, cfg.Seed, cfg.Metrics)
+	// Deferred: the transport reserves its port now (the self record
+	// needs the bound address) but serves no inbound request until the
+	// handler's dependencies — above all p.node — are wired. Without
+	// this, a neighbor's join RPC racing peer construction dereferences
+	// a nil gossip node.
+	tp, err := transport.NewDeferred(cfg.ID, cfg.ListenAddr, (*handler)(p), p.resolveAddr, cfg.Seed, cfg.Metrics)
 	if err != nil {
 		return nil, err
 	}
@@ -234,6 +238,7 @@ func NewPeer(cfg Config) (*Peer, error) {
 		}
 		p.st.SetSnapshotSource(p.snapshotSource)
 	}
+	tp.StartAccepting()
 	return p, nil
 }
 

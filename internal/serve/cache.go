@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// resultCache memoizes fully rendered search responses keyed by
+// (query terms, search options), stamped with the directory mutation
+// generation — the serving-tier sibling of search.IPFCache. A search
+// result is a pure function of the community's filter state plus the
+// contacted peers' indexes; the directory generation advances on every
+// accepted record, on/off-line flip, and local publish (publishes upsert
+// the self record), so any event that could change an answer also moves
+// the generation and flushes the cache on the next lookup.
+//
+// Unlike the IPF cache this one stores the marshaled JSON body, not live
+// structures: a hit is one map lookup plus one Write, with no risk of a
+// handler mutating a shared result slice.
+//
+// Entries are LRU-evicted beyond cap. All methods are safe for
+// concurrent use.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	stamped bool       // gen is meaningful
+	gen     uint64     // generation the entries were computed at
+	ll      *list.List // front = most recent
+	entries map[string]*list.Element
+}
+
+// cacheEntry is one memoized response: the key (for eviction) and the
+// rendered JSON body.
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// newResultCache returns an empty cache holding at most cap responses
+// (cap <= 0 disables caching: get always misses, put drops).
+func newResultCache(cap int) *resultCache {
+	return &resultCache{
+		cap:     cap,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// searchCacheKey canonicalizes one search request: the term sequence
+// (already tokenized/stemmed, so equivalent spellings collide) plus every
+// option that changes the response bytes. K changes truncation,
+// group size changes the contact schedule (and therefore Stats), while
+// Concurrency is deliberately excluded — the fan-out merge is
+// byte-identical to sequential by construction.
+func searchCacheKey(terms []string, k, groupSize int) string {
+	var b strings.Builder
+	for _, t := range terms {
+		b.WriteString(t)
+		b.WriteByte(0)
+	}
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(k))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(groupSize))
+	return b.String()
+}
+
+// flushIfStaleLocked drops every entry when the generation moved.
+func (c *resultCache) flushIfStaleLocked(gen uint64) {
+	if c.stamped && c.gen == gen {
+		return
+	}
+	c.ll.Init()
+	c.entries = make(map[string]*list.Element)
+	c.gen = gen
+	c.stamped = true
+}
+
+// get returns the cached body for key at generation gen, if fresh.
+func (c *resultCache) get(gen uint64, key string) ([]byte, bool) {
+	if c == nil || c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.flushIfStaleLocked(gen)
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores body under key, but only if the cache is still at
+// generation gen — a publish that landed while the search ran has
+// already (or will have) moved the directory generation, and storing the
+// possibly-stale response would let it outlive its truth.
+func (c *resultCache) put(gen uint64, key string, body []byte) {
+	if c == nil || c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stamped && c.gen != gen {
+		return
+	}
+	c.flushIfStaleLocked(gen)
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).body = body
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of live entries.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

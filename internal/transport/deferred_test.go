@@ -1,0 +1,74 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"planetp/internal/directory"
+)
+
+// Regression test: a peer's handler dependencies are wired only after
+// the transport exists (the self record embeds the bound address), so a
+// join request racing construction used to dereference a half-built
+// handler. NewDeferred must reserve the port immediately but serve
+// nothing until StartAccepting.
+func TestDeferredServesOnlyAfterStartAccepting(t *testing.T) {
+	h := newHandler(7)
+	srv, err := NewDeferred(7, "", h, func(directory.PeerID) (string, bool) { return "", false }, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := New(1, "", newHandler(1), func(directory.PeerID) (string, bool) { return "", false }, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	// The request must connect (port is reserved) but sit unanswered in
+	// the backlog until the server starts accepting.
+	done := make(chan error, 1)
+	go func() {
+		rec, err := cli.FetchRecord(srv.Addr())
+		if err == nil && rec.ID != 7 {
+			t.Errorf("FetchRecord returned record for peer %d, want 7", rec.ID)
+		}
+		done <- err
+	}()
+
+	select {
+	case err := <-done:
+		t.Fatalf("request served before StartAccepting (err=%v)", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	srv.StartAccepting()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("FetchRecord after StartAccepting: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("request not served after StartAccepting")
+	}
+
+	srv.StartAccepting() // idempotent
+}
+
+// Close on a deferred transport that never started accepting must not
+// hang, and StartAccepting afterwards must be a no-op.
+func TestDeferredCloseWithoutAccepting(t *testing.T) {
+	srv, err := NewDeferred(3, "", newHandler(3), func(directory.PeerID) (string, bool) { return "", false }, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := make(chan struct{})
+	go func() { srv.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close hung on never-accepting deferred transport")
+	}
+	srv.StartAccepting() // must not panic or leak an accept loop
+}

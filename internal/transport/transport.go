@@ -171,9 +171,10 @@ type Transport struct {
 	// changes.
 	intervalCh chan time.Duration
 
-	mu     sync.Mutex
-	closed bool
-	wg     sync.WaitGroup
+	mu        sync.Mutex
+	closed    bool
+	accepting bool
+	wg        sync.WaitGroup
 
 	// DialTimeout bounds connection attempts (drives off-line
 	// detection). Default 2 s.
@@ -298,6 +299,22 @@ func (t *Transport) account(kind Kind, cc *countingConn) {
 // ephemeral port). reg, when non-nil, receives the transport's metrics
 // (transport_* names); nil disables instrumentation.
 func New(id directory.PeerID, listenAddr string, handler Handler, resolve Resolver, seed int64, reg *metrics.Registry) (*Transport, error) {
+	t, err := NewDeferred(id, listenAddr, handler, resolve, seed, reg)
+	if err != nil {
+		return nil, err
+	}
+	t.StartAccepting()
+	return t, nil
+}
+
+// NewDeferred binds the listener like New but does not serve inbound
+// requests until StartAccepting. A peer under construction needs this:
+// its handler's dependencies (the gossip node in particular) are wired
+// only after the transport exists — because the self record embeds the
+// bound address — and a join request racing that window would hit them
+// half-built. The port is still reserved immediately, so remote dials
+// queue in the accept backlog rather than failing.
+func NewDeferred(id directory.PeerID, listenAddr string, handler Handler, resolve Resolver, seed int64, reg *metrics.Registry) (*Transport, error) {
 	if listenAddr == "" {
 		listenAddr = "127.0.0.1:0"
 	}
@@ -322,9 +339,22 @@ func New(id directory.PeerID, listenAddr string, handler Handler, resolve Resolv
 	}
 	t.nowFn = t.Now
 	t.sleep = time.Sleep
-	t.wg.Add(1)
-	go t.acceptLoop()
 	return t, nil
+}
+
+// StartAccepting begins serving inbound connections. Idempotent, and a
+// no-op after Close — so an aborted construction can Close a deferred
+// transport without leaking the accept loop.
+func (t *Transport) StartAccepting() {
+	t.mu.Lock()
+	if t.accepting || t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.accepting = true
+	t.wg.Add(1)
+	t.mu.Unlock()
+	go t.acceptLoop()
 }
 
 // rpcTimeout resolves the effective request/response deadline.

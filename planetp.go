@@ -43,6 +43,7 @@ import (
 	"planetp/internal/metrics"
 	"planetp/internal/pfs"
 	"planetp/internal/search"
+	"planetp/internal/serve"
 )
 
 // Peer is a live PlanetP community member.
@@ -126,3 +127,21 @@ func NewFS(p *Peer) (*FS, error) { return pfs.New(p) }
 // Terms runs PlanetP's text pipeline (tokenize, stop words, Porter stem)
 // over a raw query or document string.
 func Terms(s string) []string { return core.Terms(s) }
+
+// Server is the HTTP serving tier over a peer: the JSON /v1 search and
+// publish API with bounded admission control, a generation-stamped
+// result cache, and graceful drain. See internal/serve for the route
+// list and the shedding/caching contracts.
+type Server = serve.Server
+
+// ServeConfig tunes the serving tier (in-flight limit, Retry-After
+// hint, cache size, body/batch bounds). The zero value takes defaults.
+type ServeConfig = serve.Config
+
+// ErrNoTerms reports a published document with no indexable terms.
+var ErrNoTerms = core.ErrNoTerms
+
+// NewServer builds the HTTP serving tier over a peer. Mount
+// Server.Handler on any mux, or use Server.Serve/Shutdown for the
+// admission-controlled listener with graceful drain.
+func NewServer(p *Peer, cfg ServeConfig) *Server { return serve.New(p, cfg) }

@@ -5,10 +5,47 @@
 #   scripts/check.sh        # full gate
 #   scripts/check.sh bench  # Table 1 + query fast-path benchmarks to
 #                           # BENCH_query.json, ingest throughput
-#                           # benchmarks to BENCH_ingest.json
+#                           # benchmarks to BENCH_ingest.json, serving-tier
+#                           # load test (live 2-node cluster + loadgen) to
+#                           # BENCH_serve.json
 set -eu
 
 cd "$(dirname "$0")/.."
+
+# serve_cluster_run DIR NODES RATE DURATION EXTRA...: build the node and
+# load-generator binaries, boot NODES gossiping API nodes under DIR, and
+# drive planetp-loadgen at RATE req/s for DURATION (EXTRA flags appended).
+# Nodes are torn down (SIGTERM, i.e. graceful drain) on exit.
+serve_cluster_run() {
+	dir="$1" nodes="$2" rate="$3" dur="$4"
+	shift 4
+	rm -rf "$dir" && mkdir -p "$dir"
+	go build -o "$dir/planetp-node" ./cmd/planetp-node
+	go build -o "$dir/planetp-loadgen" ./cmd/planetp-loadgen
+	targets="" join=""
+	i=0
+	while [ "$i" -lt "$nodes" ]; do
+		# Fixed ports below the ephemeral range (net.ipv4.ip_local_port_range
+		# starts at 32768) so the bind can't collide with a transient
+		# outbound socket.
+		gport=$((17200 + i)) hport=$((17300 + i))
+		# shellcheck disable=SC2086
+		"$dir/planetp-node" -id "$i" -capacity 16 \
+			-gossip "127.0.0.1:$gport" -listen "127.0.0.1:$hport" \
+			-interval 250ms -headless $join -data "$dir/d$i" \
+			>"$dir/n$i.log" 2>&1 &
+		echo $! >>"$dir/pids"
+		if [ -z "$join" ]; then join="-join 127.0.0.1:$gport"; fi
+		targets="${targets:+$targets,}127.0.0.1:$hport"
+		i=$((i + 1))
+	done
+	trap 'kill $(cat "'"$dir"'/pids") 2>/dev/null || true' EXIT
+	"$dir/planetp-loadgen" -targets "$targets" -wait 10s \
+		-rate "$rate" -duration "$dur" "$@"
+	kill $(cat "$dir/pids") 2>/dev/null || true
+	wait 2>/dev/null || true
+	trap - EXIT
+}
 
 if [ "${1:-}" = "bench" ]; then
 	BENCHTIME="${BENCHTIME:-0.5s}"
@@ -20,6 +57,10 @@ if [ "${1:-}" = "bench" ]; then
 	go test -run='^$' -bench='Ingest' \
 		-benchtime="$BENCHTIME" -benchmem -json . | tee BENCH_ingest.json |
 		grep -o '"Output":"Benchmark[^"]*' | sed 's/"Output":"//;s/\\t/\t/g;s/\\n$//' || true
+	echo "== serving-tier load test (live 2-node cluster) -> BENCH_serve.json"
+	serve_cluster_run /tmp/planetp-serve-bench 2 \
+		"${SERVE_RATE:-300}" "${SERVE_DURATION:-10s}" \
+		-publish-frac 0.05 -out "$(pwd)/BENCH_serve.json"
 	echo "== bench OK"
 	exit 0
 fi
@@ -40,6 +81,14 @@ go test -race ./...
 echo "== crash-recovery smoke"
 go test -race -run 'CrashPoint|Durable|RestartUnderFaults' \
 	./internal/store/ ./internal/core/ ./internal/gossipsim/
+
+# Serving-tier smoke: boot a real 2-node cluster and drive it for ~2s —
+# proves the node binary, the HTTP API, and the load generator still work
+# end to end (loadgen exits non-zero if no request succeeds).
+echo "== serving-tier smoke (2 nodes, 2s load)"
+serve_cluster_run /tmp/planetp-serve-smoke 2 100 2s -publish-frac 0.05 \
+	-preload 64 >/dev/null
+echo "   serve smoke OK"
 
 # Bench smoke: every root-package benchmark must still compile and
 # survive one iteration (full timings come from `scripts/check.sh bench`).
