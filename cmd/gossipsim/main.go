@@ -13,9 +13,12 @@
 //	gossipsim -exp faults [-n 50] [-drop 0.25] [-dup 0] [-delay 0]
 //	          [-partition-at 0s] [-heal-at 0s] [-fault-seed 42]
 //	gossipsim -exp restart [-n 50] [-drop 0.25] [-fault-seed 42]
+//	gossipsim -exp churn-storm [-n 32] [-rates 0.5,1,2,4] [-seed 7]
+//	          [-json BENCH_churn.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +47,8 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 42, "faults: fault-schedule seed")
 	docs := flag.Int("docs", 256, "ingest: documents in the publish burst")
 	batchesArg := flag.String("batches", "1,16,64,256", "ingest: batch sizes to sweep")
+	ratesArg := flag.String("rates", "0.5,1,2,4", "churn-storm: churn-rate multipliers to sweep")
+	jsonPath := flag.String("json", "", "churn-storm: also write the full report as JSON to this path")
 	flag.Parse()
 
 	switch *exp {
@@ -73,6 +78,8 @@ func main() {
 			PartitionAt: *partitionAt, HealAt: *healAt,
 			Seed: *faultSeed,
 		}, *seed)
+	case "churn-storm":
+		churnStorm(*n, parseFloats(*ratesArg), *seed, *jsonPath)
 	case "restart":
 		restart(*n, gossipsim.FaultSpec{
 			Drop: *drop, Dup: *dup, Delay: *delay,
@@ -96,6 +103,23 @@ func parseInts(s string) []int {
 		v, err := strconv.Atoi(f)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bad integer %q\n", f)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseFloats(s string) []float64 {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "bad rate %q\n", f)
 			os.Exit(2)
 		}
 		out = append(out, v)
@@ -270,6 +294,53 @@ func restart(n int, spec gossipsim.FaultSpec, seed int64) {
 		r.RecoveredOps, r.TruncatedRecords, r.StaleRecords,
 		r.ScheduleHash, r.Faults.Drops, r.Faults.Messages)
 	summarize(reg, fmt.Sprintf("restart n=%d", n), n)
+}
+
+// stormReport is the churn-storm experiment's JSON shape (BENCH_churn.json).
+type stormReport struct {
+	N         int                     `json:"n"`
+	Seed      int64                   `json:"seed"`
+	Scenarios []gossipsim.StormResult `json:"scenarios"`
+	Sweep     []gossipsim.RatePoint   `json:"sweep"`
+}
+
+// churnStorm: the storm acceptance trio (flash crowd, mass departure,
+// partition-heal mass rejoin) plus the staleness-vs-churn-rate sweep.
+// Fully deterministic for equal -n/-seed: rerunning must reproduce every
+// number, so a curve change is a protocol change. Sized for tens of
+// peers — the horizons scale with n and the measurement is O(n²) per
+// sample, so keep -n modest.
+func churnStorm(n int, rates []float64, seed int64, jsonPath string) {
+	fmt.Println("# Churn storms: directory staleness, T_Dead GC correctness, and bandwidth under scripted membership storms")
+	report := stormReport{N: n, Seed: seed}
+	fmt.Println("scenario,n,converged,live_drops,dead_violations,dead_cleared_s,stale_incarnations,final_staleness,final_coverage,total_bytes,bytes_per_round")
+	for _, spec := range gossipsim.StormScenarios(n) {
+		r := gossipsim.Storm(gossipsim.STORM, spec, seed)
+		report.Scenarios = append(report.Scenarios, r)
+		fmt.Printf("%s,%d,%v,%d,%d,%.0f,%d,%.4f,%.4f,%d,%.0f\n",
+			r.Name, r.N, r.Converged, r.LiveDrops, r.DeadViolations,
+			r.DeadClearedS, r.StaleIncarnations, r.FinalStaleness,
+			r.FinalCoverage, r.TotalBytes, r.BytesPerRound)
+	}
+	fmt.Println("rate,events,mean_staleness,mean_online,bytes_per_sec,bytes_per_round")
+	report.Sweep = gossipsim.ChurnRateSweep(gossipsim.STORM, n, rates, seed)
+	for _, pt := range report.Sweep {
+		fmt.Printf("%.2f,%d,%.4f,%.1f,%.1f,%.1f\n",
+			pt.Rate, pt.Events, pt.MeanStaleness, pt.MeanOnline,
+			pt.BytesPerSec, pt.BytesPerRound)
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("# wrote %s\n", jsonPath)
+	}
 }
 
 // fig5: 2000-member dynamic community; MIX-F/MIX-S fast/slow-source

@@ -6,9 +6,11 @@
 //
 //	# first member, API on :8081
 //	planetp-node -id 0 -capacity 16 -gossip 127.0.0.1:7001 -listen 127.0.0.1:8081
-//	# subsequent members
+//	# subsequent members: any one live seed address is enough — with
+//	# -min-peers the node pulls peer-exchange samples until its directory
+//	# sees the whole community
 //	planetp-node -id 1 -capacity 16 -gossip 127.0.0.1:7002 -listen 127.0.0.1:8082 \
-//	    -join 127.0.0.1:7001
+//	    -seeds 127.0.0.1:7001 -min-peers 16
 //
 // Flags:
 //
@@ -19,7 +21,13 @@
 //	                  GET /v1/doc/{id}, GET /v1/peers, GET /healthz, and
 //	                  GET /debug/metrics on one mux ("" = no API)
 //	-gossip ADDR      gossip transport address ("" = ephemeral loopback)
-//	-join ADDR        gossip address of an existing member to bootstrap from
+//	-seeds ADDRS      comma-separated gossip addresses of existing members;
+//	                  tried in rotation with capped exponential backoff
+//	                  until one answers (fatal only when all are exhausted)
+//	-join ADDR        single-seed alias for -seeds (kept for compatibility)
+//	-min-peers N      keep pulling peer-exchange samples from contacts
+//	                  until the directory sees at least N members on-line
+//	                  (0 = no discovery; rely on gossip alone)
 //	-name S           peer name
 //	-interval D       base gossip interval T_g (default 30s)
 //	-slow             mark this peer modem-class
@@ -79,7 +87,9 @@ func main() {
 	capacity := flag.Int("capacity", 64, "community id-space size")
 	listen := flag.String("listen", "127.0.0.1:0", "HTTP API address serving /v1/* and /debug/metrics (\"\" = no API)")
 	gossipAddr := flag.String("gossip", "127.0.0.1:0", "gossip transport listen address")
-	join := flag.String("join", "", "gossip address of an existing member to bootstrap from")
+	seeds := flag.String("seeds", "", "comma-separated gossip addresses of existing members to bootstrap from")
+	join := flag.String("join", "", "single-seed alias for -seeds (kept for compatibility)")
+	minPeers := flag.Int("min-peers", 0, "pull peer-exchange samples until the directory sees this many members on-line (0 = gossip only)")
 	name := flag.String("name", "", "peer name")
 	interval := flag.Duration("interval", 30*time.Second, "base gossip interval (T_g)")
 	slow := flag.Bool("slow", false, "mark this peer modem-class for bandwidth-aware gossip")
@@ -118,7 +128,10 @@ func main() {
 		ListenAddr:      *gossipAddr,
 		Capacity:        *capacity,
 		Class:           class,
-		Gossip:          planetp.GossipConfig{BaseInterval: *interval, MaxInterval: 2 * *interval},
+		Gossip: planetp.GossipConfig{
+			BaseInterval: *interval, MaxInterval: 2 * *interval,
+			DiscoverMin: *minPeers,
+		},
 		Seed:            time.Now().UnixNano(),
 		BrokerTopFrac:   0.10,
 		BrokerDiscard:   10 * time.Minute,
@@ -142,20 +155,23 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Bootstrap: rotate through every seed address with capped exponential
+	// backoff between passes (a rolling cluster boot may have some seeds
+	// not yet bound); fatal only when the whole list is exhausted.
+	var seedList []string
+	for _, s := range strings.Split(*seeds, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			seedList = append(seedList, s)
+		}
+	}
 	if *join != "" {
-		// Retry briefly: in a rolling cluster boot the seed member may
-		// not have bound its gossip port yet.
-		deadline := time.Now().Add(10 * time.Second)
-		for {
-			err := peer.Join(*join)
-			if err == nil {
-				break
-			}
-			if time.Now().After(deadline) {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			time.Sleep(100 * time.Millisecond)
+		seedList = append(seedList, *join)
+	}
+	if len(seedList) > 0 {
+		if err := peer.JoinSeeds(planetp.BootstrapConfig{Seeds: seedList}); err != nil {
+			peer.Stop()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 	peer.Start()

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// BootstrapConfig tunes JoinSeeds' rotation through a seed list. Zero
+// fields take defaults sized for a cluster whose seeds may still be
+// starting up: 8 passes with backoff doubling from 250 ms and capped at
+// 5 s waits ≈ 18 s worst case — more forgiving than the old single-seed
+// loop's hard 10 s deadline, and it gives up only when every seed has
+// failed on every pass.
+type BootstrapConfig struct {
+	// Seeds are the candidate member addresses, tried in order within
+	// each pass.
+	Seeds []string
+	// Passes is how many full rotations through the list to attempt
+	// before giving up (default 8).
+	Passes int
+	// Base is the delay after the first full failed pass; it doubles
+	// each pass, capped at Max (defaults 250 ms and 5 s).
+	Base, Max time.Duration
+	// sleep replaces time.Sleep in tests.
+	sleep func(time.Duration)
+}
+
+func (c BootstrapConfig) withDefaults() BootstrapConfig {
+	if c.Passes <= 0 {
+		c.Passes = 8
+	}
+	if c.Base <= 0 {
+		c.Base = 250 * time.Millisecond
+	}
+	if c.Max <= 0 {
+		c.Max = 5 * time.Second
+	}
+	if c.sleep == nil {
+		c.sleep = time.Sleep
+	}
+	return c
+}
+
+// JoinSeeds bootstraps into an existing community via any of the given
+// member addresses, rotating through the list with capped exponential
+// backoff between passes. The first seed that answers wins; an error is
+// returned only when every seed failed on every pass.
+func (p *Peer) JoinSeeds(cfg BootstrapConfig) error {
+	return rotateSeeds(cfg, p.Join)
+}
+
+// rotateSeeds runs the seed-rotation policy over an arbitrary join
+// attempt (factored out so the policy is unit-testable without sockets).
+// Within one pass every seed is tried back to back — a dead seed must not
+// delay a live one behind it — and only a fully failed pass sleeps.
+func rotateSeeds(cfg BootstrapConfig, try func(addr string) error) error {
+	cfg = cfg.withDefaults()
+	if len(cfg.Seeds) == 0 {
+		return errors.New("core: no seed addresses")
+	}
+	var lastErr error
+	delay := cfg.Base
+	for pass := 0; pass < cfg.Passes; pass++ {
+		if pass > 0 {
+			cfg.sleep(delay)
+			delay *= 2
+			if delay > cfg.Max {
+				delay = cfg.Max
+			}
+		}
+		for _, addr := range cfg.Seeds {
+			if err := try(addr); err != nil {
+				lastErr = err
+				continue
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("core: all %d seeds exhausted after %d passes: %w",
+		len(cfg.Seeds), cfg.Passes, lastErr)
+}

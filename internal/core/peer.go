@@ -543,23 +543,24 @@ func (p *Peer) SearchVia(proxy directory.PeerID, query string, k int) ([]search.
 	return docs, nil
 }
 
+// userRandLocked returns the peer's user-facing random stream, separate
+// from the gossip loop's (rand.Rand is not thread-safe and gossip owns
+// the transport's). Callers must hold p.mu.
+func (p *Peer) userRandLocked() *rand.Rand {
+	if p.userRng == nil {
+		p.userRng = rand.New(rand.NewSource(p.cfg.Seed ^ 0x5eed))
+	}
+	return p.userRng
+}
+
 // PickProxy chooses a random on-line fast-class peer to delegate searches
 // to (None if the directory knows no such peer).
 func (p *Peer) PickProxy() (directory.PeerID, bool) {
 	p.mu.Lock()
-	if p.userRng == nil {
-		// Separate stream from the gossip loop's (rand.Rand is not
-		// thread-safe and gossip owns the transport's).
-		p.userRng = rand.New(rand.NewSource(p.cfg.Seed ^ 0x5eed))
-	}
-	rng := p.userRng
-	pick := func() (directory.PeerID, bool) {
-		return p.dir.PickOnline(rng, func(id directory.PeerID, e directory.Entry) bool {
-			return id != p.id && e.Class == directory.Fast
-		})
-	}
 	defer p.mu.Unlock()
-	return pick()
+	return p.dir.PickOnline(p.userRandLocked(), func(id directory.PeerID, e directory.Entry) bool {
+		return id != p.id && e.Class == directory.Fast
+	})
 }
 
 // SearchAll runs the exhaustive conjunctive search (Section 5.1),

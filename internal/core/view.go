@@ -309,6 +309,17 @@ func (h *handler) HandleGetDoc(key string) (string, bool) {
 	return d.Raw, true
 }
 
+// HandlePeerExchange implements transport.Handler: serve a bounded random
+// sample of known-on-line records to a bootstrapping peer. The transport
+// has already clamped max; the sample is payload-free (Bloom filters come
+// later through normal anti-entropy pulls).
+func (h *handler) HandlePeerExchange(max int) []directory.Record {
+	p := (*Peer)(h)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dir.SampleOnline(p.userRandLocked(), max)
+}
+
 // SelfRecord implements transport.Handler.
 func (h *handler) SelfRecord() directory.Record {
 	return (*Peer)(h).node.SelfRecord()

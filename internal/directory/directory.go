@@ -102,6 +102,18 @@ type meta struct {
 	payload []byte
 }
 
+// tombstone is a death certificate (Demers et al.): the version at which a
+// record was garbage-collected by DropDead. Without it a dropped record
+// resurrects forever — the dropper's next anti-entropy exchange with any
+// peer that has not yet dropped it pulls the dead record back (marked
+// on-line, with a fresh off-line clock), so the community never globally
+// forgets a departed member. The certificate rejects re-learning any
+// version up to the dropped one; a genuine rejoin carries a higher epoch
+// and supersedes it.
+type tombstone struct {
+	ver Version
+}
+
 // Directory is one peer's replica of the global directory. It is
 // thread-safe: the live transport receives messages concurrently.
 type Directory struct {
@@ -109,6 +121,7 @@ type Directory struct {
 	self    PeerID
 	entries []Entry
 	meta    map[PeerID]*meta
+	tombs   map[PeerID]tombstone
 	digest  uint64
 	nKnown  int
 	nOnline int
@@ -131,6 +144,7 @@ func New(self PeerID, capacity int) *Directory {
 		self:    self,
 		entries: make([]Entry, capacity),
 		meta:    make(map[PeerID]*meta),
+		tombs:   make(map[PeerID]tombstone),
 	}
 }
 
@@ -161,6 +175,16 @@ func (d *Directory) Upsert(rec Record) bool {
 	defer d.mu.Unlock()
 	if int(rec.ID) < 0 || int(rec.ID) >= len(d.entries) {
 		return false
+	}
+	if tomb, ok := d.tombs[rec.ID]; ok {
+		if !tomb.ver.Less(rec.Ver) {
+			// Death certificate: this incarnation (or older) was already
+			// garbage-collected here; do not resurrect it.
+			return false
+		}
+		// A strictly newer version is a genuine rejoin; the certificate
+		// has served its purpose.
+		delete(d.tombs, rec.ID)
 	}
 	e := &d.entries[rec.ID]
 	if e.Known && !e.Ver.Less(rec.Ver) {
@@ -281,7 +305,16 @@ func (d *Directory) MarkOnline(id PeerID) {
 
 // DropDead removes every record that has been continuously off-line for at
 // least tDead (Section 3: assumed to have left permanently). It returns
-// the ids dropped.
+// the ids dropped. Each drop leaves a death certificate so anti-entropy
+// with a peer that has not yet dropped the record cannot resurrect it.
+// Certificates are kept until a genuine rejoin (higher epoch) supersedes
+// them: purging them on any clock re-opens the resurrection cycle,
+// because replicas drop the same record at widely spread times (failure
+// detection is randomized and every off-line clock starts when that
+// replica's own sends first fail) and one expired certificate next to one
+// laggard holder re-seeds the dead record community-wide. The certificate
+// map needs no purge to stay bounded — ids are confined to [0, capacity),
+// so it never outgrows the entry table it shadows.
 func (d *Directory) DropDead(tDead time.Duration, now time.Duration) []PeerID {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -290,6 +323,7 @@ func (d *Directory) DropDead(tDead time.Duration, now time.Duration) []PeerID {
 		e := &d.entries[id]
 		if e.Known && !e.Online && now-e.OfflineSince >= tDead {
 			d.digest ^= recHash(PeerID(id), e.Ver)
+			d.tombs[PeerID(id)] = tombstone{ver: e.Ver}
 			*e = Entry{}
 			delete(d.meta, PeerID(id))
 			d.nKnown--
@@ -377,6 +411,12 @@ func (d *Directory) Missing(remote []Version) []NeedEntry {
 		}
 		e := &d.entries[id]
 		if !e.Known || e.Ver.Less(rv) {
+			// A certified-dead version is not worth pulling: Upsert would
+			// reject it anyway. Skipping it here saves the wasted record
+			// transfer on every exchange until the remote drops it too.
+			if tomb, ok := d.tombs[PeerID(id)]; ok && !tomb.ver.Less(rv) {
+				continue
+			}
 			need = append(need, NeedEntry{ID: PeerID(id), Have: e.Ver})
 		}
 	}
@@ -456,6 +496,49 @@ func (d *Directory) OnlineIDs() []PeerID {
 		}
 	}
 	return out
+}
+
+// SampleOnline returns a uniformly random sample of at most max
+// known-on-line records other than self, for peer-exchange replies
+// (bootstrap discovery). Each record carries the peer's address, class,
+// and wire sizes but not its Bloom-filter payload: discovery needs
+// contacts, not content — a requester pulls filters through normal
+// anti-entropy once it knows who exists. Reservoir sampling keeps the
+// pass linear with a max-bounded allocation.
+func (d *Directory) SampleOnline(rng *rand.Rand, max int) []Record {
+	if max <= 0 {
+		return nil
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []Record
+	count := 0
+	for id := range d.entries {
+		e := &d.entries[id]
+		if !e.Known || !e.Online || PeerID(id) == d.self {
+			continue
+		}
+		count++
+		if len(out) < max {
+			out = append(out, d.sampleRecordLocked(PeerID(id)))
+		} else if j := rng.Intn(count); j < max {
+			out[j] = d.sampleRecordLocked(PeerID(id))
+		}
+	}
+	return out
+}
+
+// sampleRecordLocked builds a payload-free record for SampleOnline.
+func (d *Directory) sampleRecordLocked(id PeerID) Record {
+	e := d.entries[id]
+	rec := Record{
+		ID: id, Ver: e.Ver, Class: e.Class,
+		PayloadSize: e.PayloadSize, DiffSize: e.DiffSize,
+	}
+	if m := d.meta[id]; m != nil {
+		rec.Addr = m.addr
+	}
+	return rec
 }
 
 // KnownIDs returns all known ids.

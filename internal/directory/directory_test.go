@@ -318,3 +318,68 @@ func TestQuickDigestConvergence(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTombstoneBlocksResurrection: after DropDead collects a record, the
+// death certificate must reject re-learning any version up to the dropped
+// one (otherwise anti-entropy with a peer that has not yet dropped it
+// resurrects the dead record forever), while a genuine rejoin — a higher
+// epoch — supersedes the certificate.
+func TestTombstoneBlocksResurrection(t *testing.T) {
+	d := New(0, 8)
+	d.Upsert(rec(1, 2, 7))
+	d.MarkOffline(1, 0)
+	if dropped := d.DropDead(time.Hour, time.Hour); len(dropped) != 1 {
+		t.Fatalf("dropped = %v, want [1]", dropped)
+	}
+	if d.Upsert(rec(1, 2, 7)) {
+		t.Fatal("dropped version resurrected")
+	}
+	if d.Upsert(rec(1, 2, 3)) {
+		t.Fatal("older-than-dropped version resurrected")
+	}
+	if d.NumKnown() != 0 || !d.VersionOf(1).IsZero() {
+		t.Fatal("certificate did not keep the record out")
+	}
+	if !d.Upsert(rec(1, 3, 0)) {
+		t.Fatal("genuine rejoin (higher epoch) rejected by certificate")
+	}
+	if d.VersionOf(1) != (Version{3, 0}) || d.NumKnown() != 1 {
+		t.Fatalf("rejoin not applied: %v", d.VersionOf(1))
+	}
+	// The certificate is consumed by the rejoin: dropping the new
+	// incarnation writes a fresh one at the new version.
+	d.MarkOffline(1, 2*time.Hour)
+	d.DropDead(time.Hour, 3*time.Hour)
+	if d.Upsert(rec(1, 3, 0)) {
+		t.Fatal("re-dropped version resurrected")
+	}
+}
+
+// TestTombstoneSkipsMissing: anti-entropy must not keep pulling a record
+// the local replica has certified dead — Missing skips summary entries at
+// or below the certificate's version.
+func TestTombstoneSkipsMissing(t *testing.T) {
+	d := New(0, 8)
+	d.Upsert(rec(1, 2, 7))
+	d.MarkOffline(1, 0)
+	d.DropDead(time.Hour, time.Hour)
+
+	holder := New(2, 8)
+	holder.Upsert(rec(2, 1, 0)) // holder's own record
+	holder.Upsert(rec(1, 2, 7))
+	if need := d.Missing(holder.Summary()); len(need) != 1 || need[0].ID != 2 {
+		t.Fatalf("need = %v, want only the holder's own record", need)
+	}
+	// A rejoined incarnation in the summary is wanted again.
+	holder.Upsert(rec(1, 3, 0))
+	need := d.Missing(holder.Summary())
+	found := false
+	for _, nd := range need {
+		if nd.ID == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("rejoined incarnation not pulled: need = %v", need)
+	}
+}

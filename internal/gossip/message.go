@@ -221,6 +221,23 @@ type Config struct {
 	// the local opinion back on-line — the recovery path for suspected
 	// peers and healed partitions.
 	ProbeEvery int
+	// DiscoverMin, when positive, enables bootstrap discovery: while the
+	// directory believes fewer than DiscoverMin peers (including self)
+	// are on-line, every round additionally pulls a bounded random
+	// sample of known-on-line records from one contact — provided the
+	// Env also implements PeerExchanger. Records learned this way are
+	// applied like anti-entropy pulls (news, but never re-rumored). Zero
+	// disables discovery; established members whose directory already
+	// meets the minimum pay nothing.
+	DiscoverMin int
+	// ExchangeMax bounds how many records one discovery pull requests
+	// (default 16).
+	ExchangeMax int
+	// OnDrop, if non-nil, is invoked (outside the node's lock) after
+	// DropDead garbage-collects records, with the dropped ids and the
+	// collection time. Experiment harnesses use it to audit the T_Dead
+	// invariants — no live peer collected, no dead record kept forever.
+	OnDrop func(dropped []directory.PeerID, now time.Duration)
 	// MaxPullBatch caps how many records one anti-entropy pull requests
 	// (0 = unlimited). Bandwidth-limited peers set this to acquire a
 	// large directory in pieces across successive exchanges instead of
@@ -276,6 +293,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.ProbeEvery == 0 {
 		c.ProbeEvery = 8
+	}
+	if c.ExchangeMax == 0 {
+		c.ExchangeMax = 16
 	}
 	// Negative stays negative: the explicit "disabled" marker (LAN-NPA)
 	// must survive repeated normalization.

@@ -28,6 +28,16 @@ type Env interface {
 	IntervalChanged(d time.Duration)
 }
 
+// PeerExchanger is an optional Env extension: a synchronous peer-exchange
+// RPC returning a bounded random sample of the target's known-on-line
+// records. Envs that implement it enable Config.DiscoverMin bootstrap
+// discovery — a joiner that knows only its seed pulls the rest of the
+// membership in address-book-sized samples instead of waiting for rumors
+// to find it.
+type PeerExchanger interface {
+	ExchangePeers(to directory.PeerID, max int) ([]directory.Record, error)
+}
+
 // rumorState tracks one actively spread rumor.
 type rumorState struct {
 	ver directory.Version
@@ -58,6 +68,9 @@ type Stats struct {
 	Gossipless   int // identical-directory contacts observed
 	IntervalUps  int // adaptive slow-downs applied
 	IntervalDrop int // resets to base interval
+	Exchanges    int // bootstrap-discovery peer-exchange pulls issued
+	ExchangeRecs int // records accepted as news from those pulls
+	Dropped      int // records garbage-collected by DropDead
 }
 
 // nodeMetrics holds the node's registry instruments, resolved once at
@@ -78,6 +91,9 @@ type nodeMetrics struct {
 	suspected   *metrics.Counter
 	gossipless  *metrics.Counter
 	diffBytes   *metrics.Counter
+	exchanges   *metrics.Counter
+	exchangeRec *metrics.Counter
+	dropped     *metrics.Counter
 }
 
 func newNodeMetrics(r *metrics.Registry) nodeMetrics {
@@ -96,6 +112,9 @@ func newNodeMetrics(r *metrics.Registry) nodeMetrics {
 		suspected:   r.Counter("gossip_peers_suspected_total"),
 		gossipless:  r.Counter("gossip_gossipless_contacts_total"),
 		diffBytes:   r.Counter("gossip_diff_bytes_sent_total"),
+		exchanges:   r.Counter("gossip_exchanges_total"),
+		exchangeRec: r.Counter("gossip_exchange_records_total"),
+		dropped:     r.Counter("gossip_records_dropped_total"),
 	}
 }
 
@@ -374,8 +393,13 @@ func (n *Node) Tick() {
 	n.rounds++
 	n.stats.Rounds++
 	n.m.rounds.Inc()
+	var dropped []directory.PeerID
 	if n.cfg.TDead > 0 && n.rounds%16 == 0 {
-		n.dir.DropDead(n.cfg.TDead, n.env.Now())
+		dropped = n.dir.DropDead(n.cfg.TDead, n.env.Now())
+		if len(dropped) > 0 {
+			n.stats.Dropped += len(dropped)
+			n.m.dropped.Add(int64(len(dropped)))
+		}
 	}
 	doAE := n.cfg.Mode == ModeAEOnly ||
 		len(n.active) == 0 ||
@@ -386,9 +410,11 @@ func (n *Node) Tick() {
 		// (a partition in force). Probing is the only way back.
 		probe := n.cfg.ProbeEvery > 0 && n.rounds%n.cfg.ProbeEvery == 0
 		n.mu.Unlock()
+		n.notifyDrops(dropped)
 		if probe {
 			n.probeOffline()
 		}
+		n.discover()
 		return
 	}
 	var msg *Message
@@ -429,6 +455,7 @@ func (n *Node) Tick() {
 	}
 	probe := n.cfg.ProbeEvery > 0 && n.rounds%n.cfg.ProbeEvery == 0
 	n.mu.Unlock()
+	n.notifyDrops(dropped)
 
 	if n.sendOrSuspect(target, msg) && clearFresh {
 		n.mu.Lock()
@@ -437,6 +464,60 @@ func (n *Node) Tick() {
 	}
 	if probe {
 		n.probeOffline()
+	}
+	n.discover()
+}
+
+// notifyDrops fires the OnDrop hook (outside the node's lock) for records
+// garbage-collected this round.
+func (n *Node) notifyDrops(dropped []directory.PeerID) {
+	if len(dropped) > 0 && n.cfg.OnDrop != nil {
+		n.cfg.OnDrop(dropped, n.env.Now())
+	}
+}
+
+// discover runs one bootstrap-discovery step: while the directory believes
+// fewer than DiscoverMin peers (including self) are on-line and the Env
+// supports peer exchange, pull a bounded random sample of known-on-line
+// records from one contact and apply them like anti-entropy pulls. This is
+// what lets a joiner that was given a single seed address assemble the
+// whole membership in a few rounds instead of waiting for rumors and
+// anti-entropy picks to stumble onto it.
+func (n *Node) discover() {
+	if n.cfg.DiscoverMin <= 0 || n.dir.NumOnline() >= n.cfg.DiscoverMin {
+		return
+	}
+	ex, ok := n.env.(PeerExchanger)
+	if !ok {
+		return
+	}
+	notSelf := func(id directory.PeerID, _ directory.Entry) bool { return id != n.id }
+	target, ok := n.dir.PickOnline(n.env.Rand(), notSelf)
+	if !ok {
+		return
+	}
+	n.mu.Lock()
+	n.stats.Exchanges++
+	n.mu.Unlock()
+	n.m.exchanges.Inc()
+	recs, err := ex.ExchangePeers(target, n.cfg.ExchangeMax)
+	if err != nil {
+		n.noteSendFailure(target)
+		return
+	}
+	n.noteSendSuccess(target)
+	n.dir.MarkOnline(target)
+	accepted := 0
+	for i := range recs {
+		if n.applyRecord(recs[i], false) {
+			accepted++
+		}
+	}
+	if accepted > 0 {
+		n.mu.Lock()
+		n.stats.ExchangeRecs += accepted
+		n.mu.Unlock()
+		n.m.exchangeRec.Add(int64(accepted))
 	}
 }
 

@@ -43,6 +43,12 @@ type Scenario struct {
 	// PullBatch caps anti-entropy pulls (0 = unlimited): the paper's
 	// proposed accommodation for slow peers joining large communities.
 	PullBatch int
+	// TDead enables directory garbage collection: records continuously
+	// off-line this long are dropped (0 = never).
+	TDead time.Duration
+	// DiscoverMin enables bootstrap discovery below this on-line count
+	// (see gossip.Config.DiscoverMin).
+	DiscoverMin int
 	// Metrics, if non-nil, aggregates the run's protocol and wire
 	// counters (gossip_* from every node, simnet_* from the simulator).
 	// Use a fresh registry per run for per-run summaries.
@@ -65,6 +71,11 @@ var (
 	// MIX: the Saroiu et al. Gnutella/Napster mixture with the
 	// bandwidth-aware algorithm.
 	MIX = Scenario{Name: "MIX", Profile: simnet.MixProfile(), Interval: 30 * time.Second, BandwidthAware: true}
+	// STORM: the churn-storm acceptance configuration — LAN links with a
+	// compressed 10 s gossip interval so a T_Dead GC sweep (every 16
+	// rounds) lands every few simulated minutes instead of every few
+	// hours. Storm specs layer TDead/DiscoverMin on top per scenario.
+	STORM = Scenario{Name: "STORM", Profile: simnet.UniformProfile(simnet.LAN), Interval: 10 * time.Second}
 )
 
 // config builds the gossip.Config for a scenario.
@@ -76,6 +87,8 @@ func (sc Scenario) config() gossip.Config {
 		BandwidthAware: sc.BandwidthAware,
 		PiggybackCount: sc.Piggyback,
 		MaxPullBatch:   sc.PullBatch,
+		TDead:          sc.TDead,
+		DiscoverMin:    sc.DiscoverMin,
 		Metrics:        sc.Metrics,
 	}
 }

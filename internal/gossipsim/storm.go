@@ -1,0 +1,464 @@
+package gossipsim
+
+import (
+	"time"
+
+	"planetp/internal/directory"
+	"planetp/internal/faultnet"
+	"planetp/internal/simnet"
+)
+
+// StormSpec scripts one churn-storm scenario on top of a converged
+// community: a flash crowd (FlashJoin peers joining within one gossip
+// round), a mass departure (DepartFrac of the membership leaving forever
+// at once), and/or a partition whose heal triggers a mass rejoin with
+// fresh incarnations. Event offsets are relative to the storm's start.
+type StormSpec struct {
+	Name string
+	// N is the initial (converged) community size.
+	N int
+	// TDead is the directory GC horizon; every storm runs with GC on so
+	// the T_Dead invariants are exercised, not just convergence.
+	TDead time.Duration
+	// DiscoverMin enables bootstrap discovery on every node (joiners are
+	// the ones below the threshold, so established members pay nothing).
+	DiscoverMin int
+	// Drop is a per-message drop probability (0 = clean network);
+	// FaultSeed fixes the fault schedule.
+	Drop      float64
+	FaultSeed int64
+
+	// FlashJoin peers join at FlashAt, all within one gossip round, each
+	// bootstrapping from a single existing member.
+	FlashJoin int
+	FlashAt   time.Duration
+	// DepartFrac of the initial members (never peer 0) leave permanently
+	// at DepartAt.
+	DepartFrac float64
+	DepartAt   time.Duration
+	// Partition splits the community in half from PartitionAt to HealAt;
+	// at heal every second-half member rejoins with a fresh incarnation.
+	// Keep HealAt-PartitionAt well under TDead or cross-partition
+	// suspicion legitimately garbage-collects live peers.
+	Partition           bool
+	PartitionAt, HealAt time.Duration
+
+	// Horizon is how long to run after the last scripted event;
+	// SampleEvery is the measurement cadence (default one interval).
+	Horizon     time.Duration
+	SampleEvery time.Duration
+	// GCSlack is the allowed clearance slack for a departed record beyond
+	// departure + TDead, covering failure detection and the 16-round GC
+	// sweep period. Detection needs each observer to pick the dead target
+	// twice among ~N candidates, so its tail scales with N intervals —
+	// and once gossip goes quiet the adaptive interval stretches to
+	// MaxInterval (2× base), doubling the wall-clock cost of a round.
+	// Default (16N+32) intervals.
+	GCSlack time.Duration
+}
+
+// StormSample is one measurement instant of a storm run.
+type StormSample struct {
+	// T is seconds since the storm's start.
+	T float64 `json:"t"`
+	// Online is the ground-truth on-line population.
+	Online int `json:"online"`
+	// Staleness is the mean (over on-line observers) fraction of held
+	// records that are wrong vs ground truth: a departed member's record,
+	// or a live member's record at an outdated version.
+	Staleness float64 `json:"staleness"`
+	// Coverage is the mean fraction of the live population each on-line
+	// observer knows (self included).
+	Coverage float64 `json:"coverage"`
+	// DeadRecords counts (observer, departed member) pairs still held.
+	DeadRecords int `json:"dead_records"`
+	// BytesPerSec is the community-aggregate gossip bandwidth since the
+	// previous sample.
+	BytesPerSec float64 `json:"bytes_per_sec"`
+}
+
+// StormResult is one storm scenario's outcome.
+type StormResult struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+	Seed int64  `json:"seed"`
+	// LiveDrops counts T_Dead violations of the first kind: a GC sweep
+	// collected a member that was on-line (and had been for at least a
+	// propagation grace period, so its presence was knowable).
+	LiveDrops int `json:"live_drops"`
+	// DeadViolations counts violations of the second kind: a departed
+	// member's record still held past departure + TDead + GCSlack
+	// (summed over samples; any nonzero value is a failure).
+	DeadViolations int `json:"dead_violations"`
+	// DeadClearedS is when (seconds since start) the last dead record
+	// disappeared community-wide; -1 if none ever existed or they never
+	// cleared within the run.
+	DeadClearedS float64 `json:"dead_cleared_s"`
+	// StaleIncarnations counts, at the end of the run, records of live
+	// members held at an epoch older than the member's current one.
+	StaleIncarnations int `json:"stale_incarnations"`
+	// FinalStaleness/FinalCoverage are the last sample's values.
+	FinalStaleness float64 `json:"final_staleness"`
+	FinalCoverage  float64 `json:"final_coverage"`
+	// TotalBytes is the aggregate gossip volume over the run;
+	// BytesPerRound normalizes it to one gossip interval.
+	TotalBytes    int64   `json:"total_bytes"`
+	BytesPerRound float64 `json:"bytes_per_round"`
+	// Converged reports full recovery: zero staleness, full coverage, no
+	// dead records, no stale incarnations at the end of the run.
+	Converged bool          `json:"converged"`
+	Samples   []StormSample `json:"samples"`
+}
+
+// Storm runs one scripted churn storm. Both seeds (sim and fault) fully
+// determine the run: equal (sc, spec, seed) inputs reproduce identical
+// sample curves and summary counters.
+func Storm(sc Scenario, spec StormSpec, seed int64) StormResult {
+	if spec.SampleEvery <= 0 {
+		spec.SampleEvery = sc.Interval
+	}
+	if spec.GCSlack <= 0 {
+		spec.GCSlack = time.Duration(16*spec.N+32) * sc.Interval
+	}
+	sc.TDead = spec.TDead
+	sc.DiscoverMin = spec.DiscoverMin
+	capacity := spec.N + spec.FlashJoin
+
+	res := StormResult{Name: spec.Name, N: spec.N, Seed: seed}
+	departedAt := make(map[directory.PeerID]time.Duration)
+
+	// Live-drop audit: a collected record is a violation when its member
+	// is on-line and has been for long enough that news of it must have
+	// propagated (a freshly rejoined member may legitimately be collected
+	// by an observer its announcement has not reached yet).
+	var s *simnet.Sim
+	grace := 10 * sc.Interval
+	cfg := sc.config()
+	cfg.OnDrop = func(dropped []directory.PeerID, now time.Duration) {
+		for _, id := range dropped {
+			if int(id) >= len(s.Peers()) {
+				continue
+			}
+			if _, gone := departedAt[id]; gone {
+				continue
+			}
+			q := s.Peers()[id]
+			if q.Online() && now-q.OnlineSince >= grace {
+				res.LiveDrops++
+			}
+		}
+	}
+	s = simnet.New(capacity, cfg, simnet.DefaultParams(), seed)
+	simnet.BuildCommunity(s, spec.N, sc.Profile, Diff1000Keys, Full20000Keys)
+	s.Run(2 * time.Second) // settle the random tick phases
+	start := s.Now()
+
+	side := faultnet.SplitHalves(capacity)
+	if spec.Drop > 0 || spec.Partition {
+		var parts []faultnet.Partition
+		if spec.Partition {
+			parts = append(parts, faultnet.Partition{
+				Name: "storm",
+				At:   start + spec.PartitionAt,
+				Heal: start + spec.HealAt,
+				Side: side,
+			})
+		}
+		s.SetFaults(faultnet.New(faultnet.Config{
+			Seed: spec.FaultSeed, Drop: spec.Drop, Partitions: parts,
+		}, sc.Metrics))
+	}
+
+	er := newExpRand(seed + 211)
+	lastEvent := time.Duration(0)
+
+	if spec.FlashJoin > 0 {
+		s.At(start+spec.FlashAt, func() {
+			for i := 0; i < spec.FlashJoin; i++ {
+				// Every joiner knows exactly one existing member; the
+				// rest of its view must come from discovery + gossip.
+				s.AddPeer(speedFor(sc, i), Full20000Keys, Full20000Keys,
+					directory.PeerID(i%spec.N))
+			}
+		})
+		if spec.FlashAt > lastEvent {
+			lastEvent = spec.FlashAt
+		}
+	}
+	if spec.DepartFrac > 0 {
+		s.At(start+spec.DepartAt, func() {
+			n := int(spec.DepartFrac * float64(spec.N))
+			// Never peer 0: the flash-crowd bootstrap target and the
+			// conventional anchor stays up.
+			perm := er.rng.Perm(spec.N - 1)
+			for _, v := range perm[:n] {
+				p := s.Peers()[v+1]
+				if !p.Online() {
+					continue
+				}
+				p.GoOffline()
+				departedAt[p.ID] = s.Now()
+			}
+		})
+		if spec.DepartAt > lastEvent {
+			lastEvent = spec.DepartAt
+		}
+	}
+	if spec.Partition {
+		// Fractionally after the heal instant, so the partition is down
+		// when the rejoin announcements start flowing.
+		s.At(start+spec.HealAt+time.Millisecond, func() {
+			for _, p := range s.Peers() {
+				if p.Online() && side(p.ID) == 1 {
+					p.Node.Rejoin(0, int(p.Node.SelfRecord().PayloadSize), nil)
+				}
+			}
+		})
+		if spec.HealAt > lastEvent {
+			lastEvent = spec.HealAt
+		}
+	}
+
+	end := start + lastEvent + spec.Horizon
+	prevBytes := s.TotalBytes
+	startBytes := s.TotalBytes
+	for t := start + spec.SampleEvery; t <= end; t += spec.SampleEvery {
+		t := t
+		s.At(t, func() {
+			sm := stormMeasure(s, departedAt)
+			sm.T = (t - start).Seconds()
+			sm.BytesPerSec = float64(s.TotalBytes-prevBytes) / spec.SampleEvery.Seconds()
+			prevBytes = s.TotalBytes
+			// Second T_Dead invariant: a departed record must be gone
+			// within departure + TDead + slack. Counted per held pair so
+			// a single laggard observer is visible in the total.
+			for _, p := range s.Peers() {
+				if !p.Online() {
+					continue
+				}
+				for id, at := range departedAt {
+					if t > at+spec.TDead+spec.GCSlack &&
+						!p.Node.Directory().VersionOf(id).IsZero() {
+						res.DeadViolations++
+					}
+				}
+			}
+			res.Samples = append(res.Samples, sm)
+		})
+	}
+	s.Run(end)
+
+	res.TotalBytes = s.TotalBytes - startBytes
+	if rounds := float64(end-start) / float64(sc.Interval); rounds > 0 {
+		res.BytesPerRound = float64(res.TotalBytes) / rounds
+	}
+	res.DeadClearedS = -1
+	lastDead := -1
+	for i, sm := range res.Samples {
+		if sm.DeadRecords > 0 {
+			lastDead = i
+		}
+	}
+	if len(departedAt) > 0 && lastDead+1 < len(res.Samples) {
+		res.DeadClearedS = res.Samples[lastDead+1].T
+	}
+	if n := len(res.Samples); n > 0 {
+		res.FinalStaleness = res.Samples[n-1].Staleness
+		res.FinalCoverage = res.Samples[n-1].Coverage
+	}
+	res.StaleIncarnations = staleIncarnations(s, departedAt)
+	res.Converged = res.FinalStaleness == 0 && res.FinalCoverage == 1 &&
+		res.StaleIncarnations == 0 &&
+		(len(res.Samples) == 0 || res.Samples[len(res.Samples)-1].DeadRecords == 0)
+	return res
+}
+
+// stormMeasure computes one sample against ground truth. Iteration is
+// over the peers slice (never a map) so identical runs produce identical
+// floating-point sums.
+func stormMeasure(s *simnet.Sim, departedAt map[directory.PeerID]time.Duration) StormSample {
+	peers := s.Peers()
+	live := 0
+	for _, p := range peers {
+		if p.Online() {
+			live++
+		}
+	}
+	var sm StormSample
+	sm.Online = live
+	var stSum, covSum float64
+	observers := 0
+	for _, p := range peers {
+		if !p.Online() {
+			continue
+		}
+		observers++
+		dir := p.Node.Directory()
+		wrong, knownLive, total := 0, 0, 0
+		for _, id := range dir.KnownIDs() {
+			if id == p.ID {
+				continue
+			}
+			total++
+			if _, gone := departedAt[id]; gone {
+				sm.DeadRecords++
+				wrong++
+				continue
+			}
+			knownLive++
+			if dir.VersionOf(id).Less(peers[id].Node.SelfRecord().Ver) {
+				wrong++
+			}
+		}
+		if total > 0 {
+			stSum += float64(wrong) / float64(total)
+		}
+		if live > 0 {
+			covSum += float64(knownLive+1) / float64(live)
+		}
+	}
+	if observers > 0 {
+		sm.Staleness = stSum / float64(observers)
+		sm.Coverage = covSum / float64(observers)
+	}
+	return sm
+}
+
+// staleIncarnations counts end-of-run records of live members held at an
+// epoch older than the member's current incarnation.
+func staleIncarnations(s *simnet.Sim, departedAt map[directory.PeerID]time.Duration) int {
+	peers := s.Peers()
+	stale := 0
+	for _, p := range peers {
+		if !p.Online() {
+			continue
+		}
+		dir := p.Node.Directory()
+		for _, id := range dir.KnownIDs() {
+			if id == p.ID {
+				continue
+			}
+			if _, gone := departedAt[id]; gone {
+				continue
+			}
+			if dir.VersionOf(id).Epoch < peers[id].Node.SelfRecord().Ver.Epoch {
+				stale++
+			}
+		}
+	}
+	return stale
+}
+
+// StormScenarios returns the acceptance trio for an initial community of
+// n peers on the STORM scenario: a flash crowd of n/2 joiners with
+// bootstrap discovery, a 25% mass departure under 25% message drop, and a
+// partition-heal mass rejoin. Durations are in units of the STORM
+// interval (10 s), with TDead chosen so a partition suspicion never
+// reaches the GC horizon while the storm is in force.
+func StormScenarios(n int) []StormSpec {
+	iv := STORM.Interval
+	tDead := 40 * iv
+	return []StormSpec{
+		{
+			Name: "flash-crowd", N: n, TDead: tDead,
+			FlashJoin: n / 2, FlashAt: 0, DiscoverMin: 8,
+			Horizon: 60 * iv,
+		},
+		{
+			Name: "mass-departure", N: n, TDead: tDead,
+			DepartFrac: 0.25, DepartAt: 0,
+			Drop: 0.25, FaultSeed: 42,
+			// The horizon must reach past departure + TDead + the default
+			// GCSlack, otherwise the dead-record deadline is never put to
+			// the test; the extra margin keeps a few samples after it.
+			Horizon: tDead + time.Duration(16*n+32)*iv + 60*iv,
+		},
+		{
+			Name: "heal-rejoin", N: n, TDead: tDead,
+			Partition: true, PartitionAt: 0, HealAt: 20 * iv,
+			Horizon: 80 * iv,
+		},
+	}
+}
+
+// RatePoint is one x-value of the staleness-vs-churn-rate sweep.
+type RatePoint struct {
+	// Rate scales the Poisson on/off dwell rates (1 = baseline: 20 min
+	// mean on-line, 10 min mean off-line).
+	Rate float64 `json:"rate"`
+	// Events is the number of rejoin events inside the window.
+	Events int `json:"events"`
+	// MeanStaleness averages the sampled directory staleness.
+	MeanStaleness float64 `json:"mean_staleness"`
+	// MeanOnline averages the sampled on-line population.
+	MeanOnline float64 `json:"mean_online"`
+	// BytesPerSec and BytesPerRound are the window's aggregate gossip
+	// bandwidth.
+	BytesPerSec   float64 `json:"bytes_per_sec"`
+	BytesPerRound float64 `json:"bytes_per_round"`
+}
+
+// ChurnRateSweep measures directory staleness and gossip bandwidth as the
+// churn rate scales: a community of n peers, 40% stable, the rest cycling
+// with Poisson dwell times divided by each rate. Deterministic for equal
+// (sc, n, rates, seed).
+func ChurnRateSweep(sc Scenario, n int, rates []float64, seed int64) []RatePoint {
+	out := make([]RatePoint, 0, len(rates))
+	for ri, rate := range rates {
+		sc := sc
+		sc.TDead = 0 // isolate churn bandwidth from GC effects
+		s := sc.newSim(n, n, seed+int64(ri))
+		s.Run(2 * time.Second)
+		er := newExpRand(seed + 307 + int64(ri))
+		meanOn := time.Duration(float64(20*time.Minute) / rate)
+		meanOff := time.Duration(float64(10*time.Minute) / rate)
+
+		pt := RatePoint{Rate: rate}
+		var schedule func(p *simnet.Peer, online bool)
+		schedule = func(p *simnet.Peer, online bool) {
+			if online {
+				s.After(er.exp(meanOn), func() {
+					p.GoOffline()
+					schedule(p, false)
+				})
+			} else {
+				s.After(er.exp(meanOff), func() {
+					p.GoOnline(0)
+					pt.Events++
+					schedule(p, true)
+				})
+			}
+		}
+		nStable := int(0.4 * float64(n))
+		for _, p := range s.Peers()[nStable:] {
+			schedule(p, true)
+		}
+
+		warmup := 5 * time.Minute
+		window := 30 * time.Minute
+		s.Run(s.Now() + warmup)
+		startBytes := s.TotalBytes
+		startEvents := pt.Events
+		var stSum, onSum float64
+		samples := 0
+		none := map[directory.PeerID]time.Duration{}
+		for t := s.Now() + sc.Interval; t <= s.Now()+window; t += sc.Interval {
+			s.At(t, func() {
+				sm := stormMeasure(s, none)
+				stSum += sm.Staleness
+				onSum += float64(sm.Online)
+				samples++
+			})
+		}
+		s.Run(s.Now() + window)
+		pt.Events -= startEvents
+		if samples > 0 {
+			pt.MeanStaleness = stSum / float64(samples)
+			pt.MeanOnline = onSum / float64(samples)
+		}
+		pt.BytesPerSec = float64(s.TotalBytes-startBytes) / window.Seconds()
+		pt.BytesPerRound = pt.BytesPerSec * sc.Interval.Seconds()
+		out = append(out, pt)
+	}
+	return out
+}

@@ -535,6 +535,44 @@ func (p *Peer) Send(to directory.PeerID, m *gossip.Message) error {
 	return nil
 }
 
+// ExchangePeers implements gossip.PeerExchanger: a synchronous
+// peer-exchange RPC against target `to`, returning a bounded random
+// sample of its known-on-line records. Unlike Send, delivery is immediate
+// — the exchange is a small request/response an order of magnitude
+// shorter than a gossip interval, so modeling its transfer time buys
+// nothing — but the request and reply bytes are still charged to both
+// links (request ≈ one header + one compact entry; reply ≈ one record
+// summary per sample). Fault plans apply: a partition or dial failure
+// errors at the sender, a drop loses the reply.
+func (p *Peer) ExchangePeers(to directory.PeerID, max int) ([]directory.Record, error) {
+	s := p.sim
+	if int(to) < 0 || int(to) >= len(s.peers) {
+		return nil, errOffline{to}
+	}
+	target := s.peers[to]
+	if !target.online {
+		s.FailedSends++
+		s.m.failedSends.Inc()
+		return nil, errOffline{to}
+	}
+	if s.faults != nil {
+		fate := s.faults.Fate(s.now, p.ID, to)
+		if fate.Failed() || fate.Drop {
+			s.FailedSends++
+			s.m.failedSends.Inc()
+			return nil, errOffline{to}
+		}
+	}
+	sz := s.cfg.Sizes
+	s.accountBytes(p, sz.Header+sz.BFSummary)
+	target.BytesRecv += int64(sz.Header + sz.BFSummary)
+	recs := target.Node.Directory().SampleOnline(target.rng, max)
+	reply := sz.Header + len(recs)*sz.PeerSummary
+	s.accountBytes(target, reply)
+	p.BytesRecv += int64(reply)
+	return recs, nil
+}
+
 func maxDur(a, b time.Duration) time.Duration {
 	if a > b {
 		return a

@@ -42,3 +42,54 @@ func FuzzEnvelopeDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzPeerExchangeDecode feeds arbitrary bytes through the peer-exchange
+// reply path: gob-decode the envelope, then sanitize the record sample
+// exactly as PeerExchange does. Whatever a hostile seed sends, sanitizing
+// must not panic, and every surviving record must honor the bounds the
+// directory relies on (wire bounds are checked before anything is
+// trusted or allocated).
+func FuzzPeerExchangeDecode(f *testing.F) {
+	seed := func(env *Envelope) []byte {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed(&Envelope{Kind: KindPeers, From: 2, K: 8, Records: []directory.Record{
+		{ID: 1, Ver: directory.Version{Epoch: 1, Seq: 3}, Addr: "127.0.0.1:9001"},
+		{ID: 2, Ver: directory.Version{Epoch: 2}, Addr: "127.0.0.1:9002", Payload: []byte{7}},
+	}}))
+	f.Add(seed(&Envelope{Kind: KindPeers, K: -4, Records: []directory.Record{
+		{ID: -9, Addr: ""},
+	}}))
+	f.Add(seed(&Envelope{Kind: KindPeerExchange, From: 1, K: 1 << 30}))
+	f.Add([]byte{})
+	f.Add([]byte{0x42, 0xff, 0x81, 0x03})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var env Envelope
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+			return
+		}
+		recs := SanitizePeerSample(env.Records, env.K)
+		if len(recs) > MaxExchangeRecords {
+			t.Fatalf("sanitized sample has %d records, hard bound is %d",
+				len(recs), MaxExchangeRecords)
+		}
+		for _, rec := range recs {
+			if rec.ID < 0 || rec.Ver.IsZero() {
+				t.Fatalf("invalid record survived sanitizing: %+v", rec)
+			}
+			if rec.Addr == "" || len(rec.Addr) > maxExchangeAddr {
+				t.Fatalf("bad address survived sanitizing: %q", rec.Addr)
+			}
+			if rec.Payload != nil {
+				t.Fatal("payload survived sanitizing")
+			}
+			if rec.PayloadSize < 0 || rec.DiffSize < 0 {
+				t.Fatalf("negative sizes survived sanitizing: %+v", rec)
+			}
+		}
+	})
+}

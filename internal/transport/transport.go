@@ -64,6 +64,13 @@ const (
 	KindRecordResp
 	KindProxyResp
 
+	// KindPeerExchange requests a bounded random sample of the target's
+	// known-on-line directory records (bootstrap discovery); answered by
+	// KindPeers. New kinds append here so earlier gob values stay stable
+	// across versions.
+	KindPeerExchange
+	KindPeers
+
 	numKinds
 )
 
@@ -99,6 +106,10 @@ func (k Kind) String() string {
 		return "record_resp"
 	case KindProxyResp:
 		return "proxy_resp"
+	case KindPeerExchange:
+		return "peer_exchange"
+	case KindPeers:
+		return "peers"
 	}
 	return "unknown"
 }
@@ -121,6 +132,7 @@ type Envelope struct {
 	XML     string
 	Found   bool
 	Record  *directory.Record
+	Records []directory.Record
 	Err     string
 }
 
@@ -144,6 +156,9 @@ type Handler interface {
 	// HandleProxySearch runs a ranked search on behalf of a
 	// bandwidth-limited requester.
 	HandleProxySearch(terms []string, k int) []search.ScoredDoc
+	// HandlePeerExchange returns a random sample of at most max
+	// known-on-line directory records (bootstrap discovery).
+	HandlePeerExchange(max int) []directory.Record
 	// SelfRecord returns the peer's current record (bootstrap).
 	SelfRecord() directory.Record
 }
@@ -652,6 +667,9 @@ func (t *Transport) serve(conn net.Conn) {
 	case KindProxySearch:
 		scored := t.handler.HandleProxySearch(env.Terms, env.K)
 		_ = enc.Encode(&Envelope{Kind: KindProxyResp, From: t.id, Scored: scored})
+	case KindPeerExchange:
+		recs := t.handler.HandlePeerExchange(clampExchange(env.K))
+		_ = enc.Encode(&Envelope{Kind: KindPeers, From: t.id, Records: recs})
 	default:
 		_ = enc.Encode(&Envelope{Kind: env.Kind, From: t.id, Err: "unknown kind"})
 	}

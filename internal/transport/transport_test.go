@@ -22,6 +22,7 @@ type recordingHandler struct {
 	notices []broker.Snippet
 	docs    map[string]string
 	self    directory.Record
+	sample  []directory.Record // served by HandlePeerExchange
 }
 
 func newHandler(id directory.PeerID) *recordingHandler {
@@ -79,6 +80,15 @@ func (h *recordingHandler) HandleProxySearch(terms []string, k int) []search.Sco
 		DocResult: search.DocResult{Key: "proxied-" + terms[0]},
 		Score:     float64(k),
 	}}
+}
+
+func (h *recordingHandler) HandlePeerExchange(max int) []directory.Record {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.sample) > max {
+		return h.sample[:max]
+	}
+	return h.sample
 }
 
 func (h *recordingHandler) SelfRecord() directory.Record { return h.self }

@@ -69,6 +69,10 @@ const (
 // round, 10 piggybacked rumor ids).
 type GossipConfig = gossip.Config
 
+// BootstrapConfig tunes Peer.JoinSeeds: the seed list and the rotation's
+// pass count and backoff bounds (zero fields take defaults).
+type BootstrapConfig = core.BootstrapConfig
+
 // Document is a parsed published XML document.
 type Document = doc.Document
 

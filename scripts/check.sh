@@ -7,7 +7,8 @@
 #                           # BENCH_query.json, ingest throughput
 #                           # benchmarks to BENCH_ingest.json, serving-tier
 #                           # load test (live 2-node cluster + loadgen) to
-#                           # BENCH_serve.json
+#                           # BENCH_serve.json, churn-storm simulation to
+#                           # BENCH_churn.json
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -35,7 +36,7 @@ serve_cluster_run() {
 			-interval 250ms -headless $join -data "$dir/d$i" \
 			>"$dir/n$i.log" 2>&1 &
 		echo $! >>"$dir/pids"
-		if [ -z "$join" ]; then join="-join 127.0.0.1:$gport"; fi
+		if [ -z "$join" ]; then join="-seeds 127.0.0.1:$gport"; fi
 		targets="${targets:+$targets,}127.0.0.1:$hport"
 		i=$((i + 1))
 	done
@@ -45,6 +46,60 @@ serve_cluster_run() {
 	kill $(cat "$dir/pids") 2>/dev/null || true
 	wait 2>/dev/null || true
 	trap - EXIT
+}
+
+# assembly_smoke DIR NODES: boot NODES real nodes where only node 0 has a
+# listening address and every other node gets nothing but that one seed
+# address (-seeds + -min-peers). Polls every node's /v1/peers until the
+# whole cluster self-assembles: every node reports known==online==NODES
+# and all nodes hold the identical id/ver/online view (i.e. zero stale
+# incarnation records anywhere).
+assembly_smoke() {
+	dir="$1" nodes="$2"
+	rm -rf "$dir" && mkdir -p "$dir"
+	go build -o "$dir/planetp-node" ./cmd/planetp-node
+	i=0
+	while [ "$i" -lt "$nodes" ]; do
+		gport=$((17400 + i)) hport=$((17500 + i))
+		seeds=""
+		if [ "$i" -gt 0 ]; then seeds="-seeds 127.0.0.1:17400 -min-peers $nodes"; fi
+		# shellcheck disable=SC2086
+		"$dir/planetp-node" -id "$i" -capacity 16 \
+			-gossip "127.0.0.1:$gport" -listen "127.0.0.1:$hport" \
+			-interval 250ms -headless $seeds \
+			>"$dir/n$i.log" 2>&1 &
+		echo $! >>"$dir/pids"
+		i=$((i + 1))
+	done
+	trap 'kill $(cat "'"$dir"'/pids") 2>/dev/null || true' EXIT
+	deadline=$(($(date +%s) + 30))
+	assembled=""
+	while [ "$(date +%s)" -lt "$deadline" ] && [ -z "$assembled" ]; do
+		sleep 0.5
+		view="" good=1 i=0
+		while [ "$i" -lt "$nodes" ]; do
+			body="$(curl -sf "http://127.0.0.1:$((17500 + i))/v1/peers")" || { good=0; break; }
+			case "$body" in
+			*"\"known\":$nodes,\"online\":$nodes"*) ;;
+			*) good=0; break ;;
+			esac
+			# Strip the per-node fields; what remains (the peers array with
+			# id/online/ver for every member) must be identical on all nodes.
+			stripped="$(printf '%s' "$body" | sed 's/"self":[0-9]*//;s/"generation":[0-9]*//')"
+			if [ -z "$view" ]; then view="$stripped"; fi
+			if [ "$stripped" != "$view" ]; then good=0; break; fi
+			i=$((i + 1))
+		done
+		if [ "$good" = 1 ]; then assembled=1; fi
+	done
+	kill $(cat "$dir/pids") 2>/dev/null || true
+	wait 2>/dev/null || true
+	trap - EXIT
+	if [ -z "$assembled" ]; then
+		echo "assembly smoke FAILED: cluster did not converge in 30s" >&2
+		tail -n 5 "$dir"/n*.log >&2 || true
+		exit 1
+	fi
 }
 
 if [ "${1:-}" = "bench" ]; then
@@ -61,6 +116,9 @@ if [ "${1:-}" = "bench" ]; then
 	serve_cluster_run /tmp/planetp-serve-bench 2 \
 		"${SERVE_RATE:-300}" "${SERVE_DURATION:-10s}" \
 		-publish-frac 0.05 -out "$(pwd)/BENCH_serve.json"
+	echo "== churn-storm simulation -> BENCH_churn.json"
+	go run ./cmd/gossipsim -exp churn-storm -n "${STORM_N:-32}" -seed 7 \
+		-json "$(pwd)/BENCH_churn.json"
 	echo "== bench OK"
 	exit 0
 fi
@@ -82,6 +140,15 @@ echo "== crash-recovery smoke"
 go test -race -run 'CrashPoint|Durable|RestartUnderFaults' \
 	./internal/store/ ./internal/core/ ./internal/gossipsim/
 
+# Churn-storm acceptance suite: flash crowd, mass departure under loss,
+# partition-heal rejoin, T_Dead regressions, discovery and peer-exchange
+# units (already part of the suite above; rerun by name so a regression
+# here is called out explicitly).
+echo "== churn-storm acceptance suite"
+go test -race -run 'Storm|TDead|Tombstone|Discover|PeerExchange|Sanitize|RotateSeeds' \
+	./internal/gossipsim/ ./internal/gossip/ ./internal/transport/ \
+	./internal/core/ ./internal/directory/
+
 # Serving-tier smoke: boot a real 2-node cluster and drive it for ~2s —
 # proves the node binary, the HTTP API, and the load generator still work
 # end to end (loadgen exits non-zero if no request succeeds).
@@ -89,6 +156,13 @@ echo "== serving-tier smoke (2 nodes, 2s load)"
 serve_cluster_run /tmp/planetp-serve-smoke 2 100 2s -publish-frac 0.05 \
 	-preload 64 >/dev/null
 echo "   serve smoke OK"
+
+# Self-assembly smoke: a 4-node cluster boots from a single seed address
+# (peer-exchange discovery fills in the rest) and converges to a uniform
+# view with zero stale incarnation records.
+echo "== self-assembly smoke (4 nodes, one seed address)"
+assembly_smoke /tmp/planetp-assembly-smoke 4
+echo "   assembly smoke OK"
 
 # Bench smoke: every root-package benchmark must still compile and
 # survive one iteration (full timings come from `scripts/check.sh bench`).
@@ -106,6 +180,7 @@ go test -run='^$' -fuzz=FuzzDecompress -fuzztime="$FUZZTIME" ./internal/bloom/
 go test -run='^$' -fuzz=FuzzDecodeDiff -fuzztime="$FUZZTIME" ./internal/bloom/
 go test -run='^$' -fuzz=FuzzCompressRoundTrip -fuzztime="$FUZZTIME" ./internal/bloom/
 go test -run='^$' -fuzz=FuzzEnvelopeDecode -fuzztime="$FUZZTIME" ./internal/transport/
+go test -run='^$' -fuzz=FuzzPeerExchangeDecode -fuzztime="$FUZZTIME" ./internal/transport/
 go test -run='^$' -fuzz=FuzzWALRecord -fuzztime="$FUZZTIME" ./internal/store/
 
 echo "== OK"
