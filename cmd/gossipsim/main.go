@@ -15,6 +15,10 @@
 //	gossipsim -exp restart [-n 50] [-drop 0.25] [-fault-seed 42]
 //	gossipsim -exp churn-storm [-n 32] [-rates 0.5,1,2,4] [-seed 7]
 //	          [-json BENCH_churn.json]
+//	gossipsim -exp directory-scale [-sizes 10000,100000] [-terms 1000]
+//	          [-cache-budget 67108864] [-converge-max 10000]
+//	          [-max-bytes-per-peer 0] [-json BENCH_directory.json]
+//	          [-memprofile heap.pprof]
 package main
 
 import (
@@ -22,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -48,7 +54,12 @@ func main() {
 	docs := flag.Int("docs", 256, "ingest: documents in the publish burst")
 	batchesArg := flag.String("batches", "1,16,64,256", "ingest: batch sizes to sweep")
 	ratesArg := flag.String("rates", "0.5,1,2,4", "churn-storm: churn-rate multipliers to sweep")
-	jsonPath := flag.String("json", "", "churn-storm: also write the full report as JSON to this path")
+	jsonPath := flag.String("json", "", "churn-storm/directory-scale: also write the full report as JSON to this path")
+	terms := flag.Int("terms", 1000, "directory-scale: keys per peer Bloom filter")
+	cacheBudget := flag.Int64("cache-budget", 0, "directory-scale: probe-cache byte budget (0 = 64 MiB default)")
+	convergeMax := flag.Int("converge-max", 10000, "directory-scale: run the convergence probe only at sizes up to this")
+	maxBytesPerPeer := flag.Float64("max-bytes-per-peer", 0, "directory-scale: exit non-zero if directory bytes/peer exceeds this at any size (0 = no guard)")
+	memProfile := flag.String("memprofile", "", "directory-scale: write a heap profile at steady state to this path")
 	flag.Parse()
 
 	switch *exp {
@@ -80,6 +91,19 @@ func main() {
 		}, *seed)
 	case "churn-storm":
 		churnStorm(*n, parseFloats(*ratesArg), *seed, *jsonPath)
+	case "directory-scale":
+		sizes := []int{10000, 100000}
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "sizes" {
+				sizes = parseInts(*sizesArg)
+			}
+		})
+		directoryScale(sizes, gossipsim.ScaleSpec{
+			TermsPerFilter: *terms,
+			CacheBudget:    *cacheBudget,
+			ConvergeMax:    *convergeMax,
+			Seed:           *seed,
+		}, *maxBytesPerPeer, *jsonPath, *memProfile)
 	case "restart":
 		restart(*n, gossipsim.FaultSpec{
 			Drop: *drop, Dup: *dup, Delay: *delay,
@@ -340,6 +364,71 @@ func churnStorm(n int, rates []float64, seed int64, jsonPath string) {
 			os.Exit(1)
 		}
 		fmt.Printf("# wrote %s\n", jsonPath)
+	}
+}
+
+// scaleReport is the directory-scale experiment's JSON shape
+// (BENCH_directory.json).
+type scaleReport struct {
+	TermsPerFilter int                    `json:"terms_per_filter"`
+	CacheBudget    int64                  `json:"cache_budget"`
+	Seed           int64                  `json:"seed"`
+	Points         []gossipsim.ScalePoint `json:"points"`
+}
+
+// directoryScale: weigh one compressed-resident directory replica at each
+// community size against the decompressed-filter baseline, sweep a query
+// fan-out through the probe cache cold and warm, and (up to -converge-max)
+// tie the numbers to a live propagation-convergence probe. The
+// -max-bytes-per-peer guard turns the memory diet into a CI gate.
+func directoryScale(sizes []int, spec gossipsim.ScaleSpec, maxBytesPerPeer float64, jsonPath, memProfile string) {
+	fmt.Println("# Directory scale: per-replica memory and probe latency of the compressed-resident directory")
+	fmt.Println("n,payload_bytes,dir_bytes_per_peer,baseline_bytes_per_peer,ratio,cold_probe_ns,warm_probe_ns,cache_resident_bytes,heap_alloc_bytes,converge_s,build_s")
+	report := scaleReport{TermsPerFilter: spec.TermsPerFilter, CacheBudget: spec.CacheBudget, Seed: spec.Seed}
+	violated := false
+	for _, n := range sizes {
+		sp := spec
+		sp.N = n
+		pt := gossipsim.DirectoryScale(gossipsim.LAN, sp)
+		report.Points = append(report.Points, pt)
+		fmt.Printf("%d,%d,%.1f,%.1f,%.4f,%.0f,%.0f,%d,%d,%.1f,%.2f\n",
+			pt.N, pt.PayloadBytes, pt.BytesPerPeer, pt.BaselineBytesPerPeer,
+			pt.Ratio, pt.ColdProbeNS, pt.WarmProbeNS, pt.CacheResidentBytes,
+			pt.HeapAllocBytes, pt.ConvergeS, pt.BuildS)
+		if maxBytesPerPeer > 0 && pt.BytesPerPeer > maxBytesPerPeer {
+			fmt.Fprintf(os.Stderr, "directory-scale: n=%d bytes/peer %.1f exceeds budget %.1f\n",
+				n, pt.BytesPerPeer, maxBytesPerPeer)
+			violated = true
+		}
+	}
+	if memProfile != "" {
+		f, err := os.Create(memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("# wrote %s\n", memProfile)
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("# wrote %s\n", jsonPath)
+	}
+	if violated {
+		os.Exit(1)
 	}
 }
 

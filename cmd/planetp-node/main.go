@@ -39,6 +39,9 @@
 //	                  shedding with 429 (default 256)
 //	-drain-timeout D  how long SIGTERM waits for in-flight API requests
 //	                  (default 10s)
+//	-filter-cache N   byte budget for resident peer Bloom filters in the
+//	                  query engine's two-tier probe cache (0 = 64 MiB
+//	                  default, negative = minimal working set)
 //
 // Shell commands (omit -headless):
 //
@@ -99,6 +102,7 @@ func main() {
 	headless := flag.Bool("headless", false, "no interactive shell; serve until SIGINT/SIGTERM")
 	maxInflight := flag.Int("max-inflight", 256, "concurrent API requests admitted before shedding with 429")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "SIGTERM wait for in-flight API requests")
+	filterCache := flag.Int64("filter-cache", 0, "byte budget for resident peer Bloom filters in the query engine (0 = 64 MiB default, negative = minimal working set)")
 	flag.Parse()
 
 	var snapshot []byte
@@ -123,22 +127,23 @@ func main() {
 		epoch = 0
 	}
 	peer, err := planetp.NewPeer(planetp.Config{
-		ID:              planetp.PeerID(*id),
-		Name:            *name,
-		ListenAddr:      *gossipAddr,
-		Capacity:        *capacity,
-		Class:           class,
+		ID:         planetp.PeerID(*id),
+		Name:       *name,
+		ListenAddr: *gossipAddr,
+		Capacity:   *capacity,
+		Class:      class,
 		Gossip: planetp.GossipConfig{
 			BaseInterval: *interval, MaxInterval: 2 * *interval,
 			DiscoverMin: *minPeers,
 		},
-		Seed:            time.Now().UnixNano(),
-		BrokerTopFrac:   0.10,
-		BrokerDiscard:   10 * time.Minute,
-		StructuredIndex: *structured,
-		Epoch:           epoch,
-		Restore:         snapshot,
-		DataDir:         *data,
+		Seed:              time.Now().UnixNano(),
+		BrokerTopFrac:     0.10,
+		BrokerDiscard:     10 * time.Minute,
+		StructuredIndex:   *structured,
+		Epoch:             epoch,
+		Restore:           snapshot,
+		DataDir:           *data,
+		FilterCacheBudget: *filterCache,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -393,10 +393,23 @@ func (f *Filter) Compress() []byte {
 	return append(hdr, payload...)
 }
 
-// Decompress reconstructs a filter from its Compress encoding.
-func Decompress(buf []byte) (*Filter, error) {
+// wireHeader is the parsed fixed part of a Compress encoding, shared by
+// Decompress and DecodeCompact so the two accept and reject identical
+// inputs.
+type wireHeader struct {
+	nbits uint64
+	nhash uint64
+	nkeys uint64
+	nset  uint64
+	m     uint64
+}
+
+// decodeWireHeader parses and validates the Compress header, returning
+// the remaining Golomb payload.
+func decodeWireHeader(buf []byte) (wireHeader, []byte, error) {
+	var hdr wireHeader
 	if len(buf) < 1 || buf[0] != wireVersion {
-		return nil, ErrCorrupt
+		return hdr, nil, ErrCorrupt
 	}
 	rest := buf[1:]
 	next := func() (uint64, error) {
@@ -407,40 +420,45 @@ func Decompress(buf []byte) (*Filter, error) {
 		rest = rest[n:]
 		return v, nil
 	}
-	nbits, err := next()
+	var err error
+	if hdr.nbits, err = next(); err != nil {
+		return hdr, nil, err
+	}
+	if hdr.nhash, err = next(); err != nil {
+		return hdr, nil, err
+	}
+	if hdr.nkeys, err = next(); err != nil {
+		return hdr, nil, err
+	}
+	if hdr.nset, err = next(); err != nil {
+		return hdr, nil, err
+	}
+	if hdr.m, err = next(); err != nil {
+		return hdr, nil, err
+	}
+	if hdr.nbits == 0 || hdr.nbits > maxWireBits || hdr.nhash == 0 || hdr.nhash > 64 || hdr.nset > hdr.nbits {
+		return hdr, nil, ErrCorrupt
+	}
+	if hdr.m == 0 || hdr.m > maxWireM {
+		return hdr, nil, ErrCorrupt
+	}
+	return hdr, rest, nil
+}
+
+// Decompress reconstructs a filter from its Compress encoding.
+func Decompress(buf []byte) (*Filter, error) {
+	hdr, rest, err := decodeWireHeader(buf)
 	if err != nil {
 		return nil, err
-	}
-	nhash, err := next()
-	if err != nil {
-		return nil, err
-	}
-	nkeys, err := next()
-	if err != nil {
-		return nil, err
-	}
-	nset, err := next()
-	if err != nil {
-		return nil, err
-	}
-	m, err := next()
-	if err != nil {
-		return nil, err
-	}
-	if nbits == 0 || nbits > maxWireBits || nhash == 0 || nhash > 64 || nset > nbits {
-		return nil, ErrCorrupt
-	}
-	if m == 0 || m > maxWireM {
-		return nil, ErrCorrupt
 	}
 	// Decode the positions before allocating the filter, so a corrupt
 	// header cannot cost a large allocation for garbage payload.
-	positions, err := golomb.DecodeGaps(rest, m, int(nset))
+	positions, err := golomb.DecodeGaps(rest, hdr.m, int(hdr.nset))
 	if err != nil {
 		return nil, fmt.Errorf("bloom: %w", err)
 	}
-	f := New(int(nbits), int(nhash))
-	f.nkeys = nkeys
+	f := New(int(hdr.nbits), int(hdr.nhash))
+	f.nkeys = hdr.nkeys
 	if _, err := f.ApplyDiff(positions); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,244 @@
+package bloom
+
+import (
+	"encoding/hex"
+	"math/rand"
+	"testing"
+)
+
+// mustDecodeCompact decodes or fails the test.
+func mustDecodeCompact(t *testing.T, buf []byte) *Compact {
+	t.Helper()
+	c, err := DecodeCompact(buf)
+	if err != nil {
+		t.Fatalf("DecodeCompact: %v", err)
+	}
+	return c
+}
+
+// checkEquivalent probes f and c with the same digests and fails on any
+// disagreement — the bit-identical contract.
+func checkEquivalent(t *testing.T, f *Filter, c *Compact, keys []string) {
+	t.Helper()
+	for _, k := range keys {
+		d := MakeDigest(k)
+		if got, want := c.ContainsDigest(d), f.ContainsDigest(d); got != want {
+			t.Fatalf("ContainsDigest(%q): compact=%v filter=%v", k, got, want)
+		}
+		if got, want := c.Contains(k), f.Contains(k); got != want {
+			t.Fatalf("Contains(%q): compact=%v filter=%v", k, got, want)
+		}
+	}
+	ds := MakeDigests(keys)
+	if got, want := c.ContainsAllDigests(ds), f.ContainsAllDigests(ds); got != want {
+		t.Fatalf("ContainsAllDigests: compact=%v filter=%v", got, want)
+	}
+}
+
+// TestCompactPinnedVectors pins the exact wire bytes, set positions, and
+// probe outcomes for a small fixed filter, so any drift in hashing, the
+// Golomb payload, or Compact's binary-search probing is caught against
+// constants rather than against a co-evolving reference.
+func TestCompactPinnedVectors(t *testing.T) {
+	f := New(256, 3)
+	for _, k := range []string{"alpha", "bravo", "charlie"} {
+		f.Insert(k)
+	}
+	const wantWire = "01800203030913b6970e53fbab70"
+	wire := f.Compress()
+	if got := hex.EncodeToString(wire); got != wantWire {
+		t.Fatalf("wire = %s, want %s", got, wantWire)
+	}
+	c := mustDecodeCompact(t, wire)
+	wantPositions := []uint32{33, 43, 59, 67, 73, 81, 174, 186, 202}
+	if len(c.positions) != len(wantPositions) {
+		t.Fatalf("positions = %v, want %v", c.positions, wantPositions)
+	}
+	for i, p := range wantPositions {
+		if c.positions[i] != p {
+			t.Fatalf("positions = %v, want %v", c.positions, wantPositions)
+		}
+	}
+	if c.NumBits() != 256 || c.NumHashes() != 3 || c.Keys() != 3 || c.SetBits() != 9 {
+		t.Fatalf("geometry = (%d,%d,%d,%d), want (256,3,3,9)",
+			c.NumBits(), c.NumHashes(), c.Keys(), c.SetBits())
+	}
+	// Pinned digests and probe outcomes (inserted keys positive, the
+	// absent ones negative at this fill).
+	vectors := []struct {
+		key      string
+		h1, h2   uint64
+		contains bool
+	}{
+		{"alpha", 0x8ac625bb85ed202b, 0xbbd2d2a491ee938f, true},
+		{"bravo", 0xb469211dfdbe6043, 0x4d0422f62a7e9787, true},
+		{"charlie", 0xa3683978114e2021, 0xf83a660567c1a48d, true},
+		{"delta", 0x52076675ec13a0c1, 0x763379602559816d, false},
+		{"echo", 0x3000e56026044164, 0x95c7bc60993c1bcf, false},
+		{"foxtrot", 0xe9d5f383e02ade2f, 0x816b7a15e8d866c3, false},
+		{"golf", 0x9cefca720ea68439, 0x51f9a6cee4f367c5, false},
+		{"hotel", 0x42aaef7b47cd3d5d, 0x15b2b17b01bff259, false},
+	}
+	for _, v := range vectors {
+		d := MakeDigest(v.key)
+		if d.H1 != v.h1 || d.H2 != v.h2 {
+			t.Fatalf("MakeDigest(%q) = {%#x, %#x}, want {%#x, %#x}",
+				v.key, d.H1, d.H2, v.h1, v.h2)
+		}
+		if got := c.ContainsDigest(d); got != v.contains {
+			t.Errorf("compact.ContainsDigest(%q) = %v, want %v", v.key, got, v.contains)
+		}
+		if got := f.ContainsDigest(d); got != v.contains {
+			t.Errorf("filter.ContainsDigest(%q) = %v, want %v", v.key, got, v.contains)
+		}
+	}
+}
+
+// TestCompactEmptyFilter pins the empty-filter encoding and checks that an
+// empty Compact rejects everything, exactly like the empty Filter.
+func TestCompactEmptyFilter(t *testing.T) {
+	f := New(128, 2)
+	wire := f.Compress()
+	if got, want := hex.EncodeToString(wire), "0180010200008080808004"; got != want {
+		t.Fatalf("empty wire = %s, want %s", got, want)
+	}
+	c := mustDecodeCompact(t, wire)
+	if c.SetBits() != 0 {
+		t.Fatalf("SetBits = %d, want 0", c.SetBits())
+	}
+	checkEquivalent(t, f, c, []string{"", "a", "b", "anything at all"})
+	if c.ContainsDigest(MakeDigest("x")) {
+		t.Fatal("empty compact claims membership")
+	}
+	if !c.ContainsAllDigests(nil) {
+		t.Fatal("vacuous conjunction should hold")
+	}
+}
+
+// TestCompactSingleBit probes a filter with exactly one set bit: the
+// binary-search edge cases (first/last/only element) all collapse here.
+func TestCompactSingleBit(t *testing.T) {
+	f := New(64, 1)
+	if _, err := f.ApplyDiff([]uint64{5}); err != nil {
+		t.Fatal(err)
+	}
+	c := mustDecodeCompact(t, f.Compress())
+	if c.SetBits() != 1 || c.positions[0] != 5 {
+		t.Fatalf("positions = %v, want [5]", c.positions)
+	}
+	// Sweep digests whose single probe index covers every bit position.
+	for h1 := uint64(0); h1 < 64; h1++ {
+		d := Digest{H1: h1, H2: 1}
+		if got, want := c.ContainsDigest(d), f.ContainsDigest(d); got != want {
+			t.Fatalf("position %d: compact=%v filter=%v", h1, got, want)
+		}
+		if c.ContainsDigest(d) != (h1 == 5) {
+			t.Fatalf("position %d: want hit only at 5", h1)
+		}
+	}
+}
+
+// TestCompactEquivalenceRandom cross-checks Compact against Filter on
+// random corpora across several geometries, via both construction paths
+// (wire decode and CompactOf).
+func TestCompactEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	geoms := []struct{ nbits, nhash, nkeys int }{
+		{512, 2, 20},
+		{4096, 4, 200},
+		{DefaultBits, DefaultHashes, 2000}, // paper geometry
+		{1 << 16, 8, 1000},
+	}
+	for _, g := range geoms {
+		f := New(g.nbits, g.nhash)
+		keys := make([]string, 0, 2*g.nkeys)
+		for i := 0; i < g.nkeys; i++ {
+			k := randKey(rng)
+			f.Insert(k)
+			keys = append(keys, k)
+		}
+		for i := 0; i < g.nkeys; i++ {
+			keys = append(keys, randKey(rng)) // mostly-absent probes
+		}
+		wire := f.Compress()
+		c := mustDecodeCompact(t, wire)
+		checkEquivalent(t, f, c, keys)
+		checkEquivalent(t, f, CompactOf(f), keys)
+		// Positive probes must all hit (no false negatives through the
+		// succinct path).
+		for _, k := range keys[:g.nkeys] {
+			if !c.Contains(k) {
+				t.Fatalf("geometry %+v: inserted key %q missing from compact", g, k)
+			}
+		}
+	}
+}
+
+// TestCompactFilterRoundTrip materializes a Filter back from a Compact and
+// requires exact bitset equality with the original.
+func TestCompactFilterRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := New(8192, 3)
+	for i := 0; i < 300; i++ {
+		f.Insert(randKey(rng))
+	}
+	got := CompactOf(f).Filter()
+	if !f.Equal(got) {
+		t.Fatal("Compact.Filter() does not round-trip the bitset")
+	}
+	if got.Keys() != f.Keys() || got.SetBits() != f.SetBits() {
+		t.Fatalf("metadata mismatch: keys %d/%d setbits %d/%d",
+			got.Keys(), f.Keys(), got.SetBits(), f.SetBits())
+	}
+	g2 := mustDecodeCompact(t, f.Compress()).Filter()
+	if !f.Equal(g2) {
+		t.Fatal("wire-decoded Compact.Filter() does not round-trip the bitset")
+	}
+}
+
+// TestCompactRejectsCorrupt requires DecodeCompact to reject exactly what
+// Decompress rejects.
+func TestCompactRejectsCorrupt(t *testing.T) {
+	f := New(1024, 2)
+	f.Insert("x")
+	wire := f.Compress()
+	bad := [][]byte{
+		nil,
+		{},
+		{0xff},             // wrong version
+		wire[:1],           // truncated header
+		wire[:len(wire)/2], // truncated payload
+	}
+	for i, buf := range bad {
+		if _, err := DecodeCompact(buf); err == nil {
+			t.Errorf("case %d: DecodeCompact accepted corrupt input", i)
+		}
+		if _, err := Decompress(buf); err == nil {
+			t.Errorf("case %d: Decompress accepted corrupt input", i)
+		}
+	}
+}
+
+// TestCompactSizeBytes sanity-checks the residency claim driving the
+// two-tier cache: for a paper-geometry filter with a few thousand terms
+// the position list is at least 5x smaller than the decompressed bitset.
+func TestCompactSizeBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := Default()
+	for i := 0; i < 1000; i++ {
+		f.Insert(randKey(rng))
+	}
+	c := CompactOf(f)
+	bitset := DefaultBits / 8
+	if c.SizeBytes()*5 > bitset {
+		t.Fatalf("compact %d bytes vs bitset %d bytes: less than 5x smaller", c.SizeBytes(), bitset)
+	}
+}
+
+func randKey(rng *rand.Rand) string {
+	b := make([]byte, 8+rng.Intn(12))
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return string(b)
+}

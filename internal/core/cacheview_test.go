@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"planetp/internal/bloom"
+	"planetp/internal/directory"
+)
+
+// cachePayload builds a small compressed Bloom filter over terms.
+func cachePayload(terms ...string) []byte {
+	f := bloom.New(4096, 2)
+	for _, t := range terms {
+		f.Insert(t)
+	}
+	return f.Compress()
+}
+
+// TestViewCacheReleasesDroppedPeerBytes is the leak regression test: the
+// pre-existing dirView cached decompressed filters in an unbounded map
+// keyed by peer id and never removed entries for churned-out peers. With
+// the eviction hook wired through Directory.SetOnEvict, dropping a dead
+// peer must release its resident filter bytes immediately.
+func TestViewCacheReleasesDroppedPeerBytes(t *testing.T) {
+	p, err := NewPeer(Config{ID: 0, Capacity: 16, Gossip: fastGossip()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	pay := cachePayload("gossip", "bloom")
+	for id := directory.PeerID(1); id <= 3; id++ {
+		p.dir.Upsert(directory.Record{
+			ID: id, Ver: directory.Version{Epoch: 1, Seq: 1},
+			Payload: pay, PayloadSize: int32(len(pay)),
+		})
+	}
+	d := bloom.MakeDigest("gossip")
+	for id := directory.PeerID(1); id <= 3; id++ {
+		if !p.view.ContainsDigest(id, d) {
+			t.Fatalf("peer %d filter lost inserted term", id)
+		}
+	}
+	before := p.view.cache.ResidentBytes()
+	if before <= 0 {
+		t.Fatal("no resident bytes after probing three peers")
+	}
+
+	// Peer 2 churns out: off-line past T_Dead, then dropped.
+	p.dir.MarkOffline(2, time.Minute)
+	dropped := p.dir.DropDead(time.Second, 2*time.Minute)
+	if len(dropped) != 1 || dropped[0] != 2 {
+		t.Fatalf("DropDead = %v, want [2]", dropped)
+	}
+	after := p.view.cache.ResidentBytes()
+	if after >= before {
+		t.Fatalf("resident bytes %d not released by drop (before %d)", after, before)
+	}
+	st := p.view.cache.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("drop fired no cache eviction")
+	}
+	if p.view.ContainsDigest(2, d) {
+		t.Fatal("dropped peer still probeable")
+	}
+
+	// Supersede path: a new filter version invalidates the old entry.
+	evBefore := p.view.cache.Stats().Evictions
+	pay2 := cachePayload("fresh")
+	p.dir.Upsert(directory.Record{
+		ID: 1, Ver: directory.Version{Epoch: 1, Seq: 2},
+		Payload: pay2, PayloadSize: int32(len(pay2)),
+	})
+	if p.view.cache.Stats().Evictions <= evBefore {
+		t.Fatal("supersede fired no cache eviction")
+	}
+	if p.view.ContainsDigest(1, d) {
+		t.Fatal("superseded filter still answers old terms")
+	}
+	if !p.view.ContainsDigest(1, bloom.MakeDigest("fresh")) {
+		t.Fatal("new filter version not probeable")
+	}
+}
+
+// TestViewCacheConcurrentChurn races the query fast path (IPF ranking +
+// digest probes through the two-tier cache) against directory churn:
+// version bumps, off-line flips, and T_Dead drops. Run with -race; the
+// assertions only check crash-freedom and that probes never observe a
+// peer the directory dropped.
+func TestViewCacheConcurrentChurn(t *testing.T) {
+	p, err := NewPeer(Config{
+		ID: 0, Capacity: 64, Gossip: fastGossip(),
+		FilterCacheBudget: 16 << 10, // tiny: force constant eviction
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+
+	terms := []string{"alpha", "bravo", "charlie"}
+	digests := make([]bloom.Digest, len(terms))
+	for i, s := range terms {
+		digests[i] = bloom.MakeDigest(s)
+	}
+	payOf := func(seq uint32) []byte {
+		return cachePayload("alpha", "bravo", "charlie", fmt.Sprintf("v%d", seq))
+	}
+	for id := directory.PeerID(1); id < 32; id++ {
+		pay := payOf(1)
+		p.dir.Upsert(directory.Record{
+			ID: id, Ver: directory.Version{Epoch: 1, Seq: 1},
+			Payload: pay, PayloadSize: int32(len(pay)),
+		})
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := directory.PeerID(1 + (i+g)%32)
+				p.view.ContainsDigest(id, digests[i%len(digests)])
+				if i%7 == 0 {
+					p.searchCache.IPFRanked(p.view, terms, p.reg)
+				}
+			}
+		}(g)
+	}
+
+	for i := 0; i < 1500; i++ {
+		id := directory.PeerID(1 + i%31)
+		switch i % 5 {
+		case 0, 1, 2: // version bump
+			seq := uint32(2 + i/5)
+			pay := payOf(seq)
+			p.dir.Upsert(directory.Record{
+				ID: id, Ver: directory.Version{Epoch: 1, Seq: seq},
+				Payload: pay, PayloadSize: int32(len(pay)),
+			})
+		case 3: // churn out...
+			p.dir.MarkOffline(id, time.Duration(i)*time.Millisecond)
+			p.dir.DropDead(time.Nanosecond, time.Hour)
+		case 4: // ...and rejoin with a fresh epoch
+			pay := payOf(1)
+			p.dir.Upsert(directory.Record{
+				ID: id, Ver: directory.Version{Epoch: uint32(2 + i/5), Seq: 1},
+				Payload: pay, PayloadSize: int32(len(pay)),
+			})
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if rb := p.view.cache.ResidentBytes(); rb > 16<<10 {
+		t.Fatalf("resident bytes %d exceed the 16KiB budget after churn", rb)
+	}
+}

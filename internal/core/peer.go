@@ -17,6 +17,7 @@ import (
 	"planetp/internal/broker"
 	"planetp/internal/directory"
 	"planetp/internal/doc"
+	"planetp/internal/filtercache"
 	"planetp/internal/gossip"
 	"planetp/internal/index"
 	"planetp/internal/metrics"
@@ -88,6 +89,13 @@ type Config struct {
 	// transport, broker, search). Nil gets a fresh registry, so
 	// Peer.Metrics() is always usable.
 	Metrics *metrics.Registry
+	// FilterCacheBudget bounds the resident bytes of decoded peer Bloom
+	// filters held by the query engine's two-tier cache (compact
+	// set-bit-position arrays for every probed peer, fully decompressed
+	// filters for the hottest). 0 takes the 64 MiB default; negative
+	// keeps only a minimal single-probe working set (for memory-starved
+	// deployments). See metrics core_filter_cache_*.
+	FilterCacheBudget int64
 }
 
 // Peer is a live PlanetP community member.
@@ -159,7 +167,18 @@ func NewPeer(cfg Config) (*Peer, error) {
 		loopDone: make(chan struct{}),
 	}
 	p.summary = bloom.NewSummary(p.filter)
-	p.view = &dirView{p: p}
+	p.view = &dirView{p: p, cache: filtercache.New(dirSource{p.dir}, filtercache.Config{
+		Budget:  cfg.FilterCacheBudget,
+		Metrics: cfg.Metrics,
+	})}
+	// Churned-out and superseded peers must release their cached filter
+	// bytes immediately — without this hook they stayed resident until
+	// the next probe of the same id (dropped peers: forever).
+	p.dir.SetOnEvict(func(ids []directory.PeerID) {
+		for _, id := range ids {
+			p.view.cache.Invalidate(id)
+		}
+	})
 	p.registry = search.NewRegistry(p.view, fetcher{p})
 	// Shared IPF/rank cache for the query fast path: keyed by the
 	// directory generation (via dirView.ViewVersion) and additionally

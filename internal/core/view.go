@@ -1,12 +1,13 @@
 package core
 
 import (
-	"sync"
+	"strconv"
 
 	"planetp/internal/bloom"
 	"planetp/internal/broker"
 	"planetp/internal/chash"
 	"planetp/internal/directory"
+	"planetp/internal/filtercache"
 	"planetp/internal/gossip"
 	"planetp/internal/search"
 	"planetp/internal/transport"
@@ -14,19 +15,23 @@ import (
 )
 
 // dirView adapts the peer's directory replica to search.FilterView:
-// candidate peers are the on-line members, and Contains consults the
-// gossiped (compressed) Bloom filters, decompressed lazily and cached per
-// version.
+// candidate peers are the on-line members, and Contains probes the
+// gossiped (compressed) Bloom filters through a byte-budgeted two-tier
+// cache — every peer probeable via its compact decoded form, hot peers
+// promoted to fully decompressed filters. The directory's eviction hook
+// (supersede / DropDead) invalidates entries so churned-out peers
+// release their resident bytes instead of leaking until process exit.
 type dirView struct {
-	p *Peer
-
-	mu    sync.Mutex
-	cache map[directory.PeerID]cachedFilter
+	p     *Peer
+	cache *filtercache.Cache
 }
 
-type cachedFilter struct {
-	ver    directory.Version
-	filter *bloom.Filter
+// dirSource feeds the filter cache from the directory's compressed
+// payload column.
+type dirSource struct{ dir *directory.Directory }
+
+func (s dirSource) Payload(id directory.PeerID) ([]byte, directory.Version, bool) {
+	return s.dir.Payload(id)
 }
 
 // Peers implements search.FilterView.
@@ -41,11 +46,7 @@ func (v *dirView) Contains(id directory.PeerID, term string) bool {
 		defer v.p.mu.Unlock()
 		return v.p.filter.Contains(term)
 	}
-	f := v.filterFor(id)
-	if f == nil {
-		return false
-	}
-	return f.Contains(term)
+	return v.cache.Contains(id, term)
 }
 
 // ContainsDigest implements search.DigestView: the query engine hashes
@@ -57,11 +58,7 @@ func (v *dirView) ContainsDigest(id directory.PeerID, d bloom.Digest) bool {
 		defer v.p.mu.Unlock()
 		return v.p.filter.ContainsDigest(d)
 	}
-	f := v.filterFor(id)
-	if f == nil {
-		return false
-	}
-	return f.ContainsDigest(d)
+	return v.cache.ContainsDigest(id, d)
 }
 
 // ViewVersion implements search.VersionedView with the directory's
@@ -70,28 +67,6 @@ func (v *dirView) ContainsDigest(id directory.PeerID, d bloom.Digest) bool {
 // (they upsert the self record).
 func (v *dirView) ViewVersion() (uint64, bool) {
 	return v.p.dir.Generation(), true
-}
-
-// filterFor returns the decompressed filter for id, caching by version.
-func (v *dirView) filterFor(id directory.PeerID) *bloom.Filter {
-	rec, ok := v.p.dir.Get(id)
-	if !ok || rec.Payload == nil {
-		return nil
-	}
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if v.cache == nil {
-		v.cache = make(map[directory.PeerID]cachedFilter)
-	}
-	if c, ok := v.cache[id]; ok && c.ver == rec.Ver {
-		return c.filter
-	}
-	f, err := bloom.Decompress(rec.Payload)
-	if err != nil {
-		return nil
-	}
-	v.cache[id] = cachedFilter{ver: rec.Ver, filter: f}
-	return f
 }
 
 // fetcher adapts the transport to search.Fetcher.
@@ -140,9 +115,16 @@ func (p *Peer) brokerRing() *chash.Ring[directory.PeerID] {
 	return ring
 }
 
-// brokerID derives a ring id from a peer id.
+// brokerID derives a ring id from a peer id. The id is rendered in
+// decimal: the previous string(rune(id)) conversion collapsed every id ≥
+// 0xD800 to U+FFFD (all such peers landed on ONE ring point) and aliased
+// distinct ids mapping to the same code point. Fixing the rendering is a
+// one-time ring migration — every peer's ring position moves — which the
+// brokerage absorbs by design: ring churn never migrates data, snippets
+// are soft-state republished on their discard interval, and all peers
+// recompute the same new ring locally (Section 4).
 func brokerID(id directory.PeerID) uint32 {
-	return chash.IDForMember(string(rune(id)) + "#planetp")
+	return chash.IDForMember(strconv.Itoa(int(id)) + "#planetp")
 }
 
 // brokerPublish routes a snippet's keys to their owning brokers.

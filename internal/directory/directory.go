@@ -5,9 +5,13 @@
 //
 // Peer ids are small dense integers so that a simulated community of
 // several thousand peers (each holding a directory over all the others)
-// fits comfortably in memory: the per-peer hot state is a fixed-size Entry
-// in a flat slice, while live-mode cold state (addresses, compressed Bloom
-// filters) lives in a lazily allocated side table.
+// fits comfortably in memory. The per-peer hot state is stored in
+// columns (versions, flag bytes, wire sizes) rather than a struct-per-peer
+// table: the columns carry no padding, the rarely populated off-line
+// timestamp lives in a sparse side map, and live-mode cold state
+// (addresses, compressed Bloom filters) lives in a lazily allocated side
+// table with interned address strings. At 100k peers the hot table costs
+// ~17 bytes/peer instead of the 32 a padded struct row would take.
 //
 // Off-line status is a local opinion — the paper explicitly does not
 // gossip leaves; a peer marks another off-line when a send to it fails and
@@ -18,6 +22,7 @@ package directory
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -84,8 +89,8 @@ type Record struct {
 	Payload []byte
 }
 
-// Entry is the directory's per-peer hot state. Fixed-size so the whole
-// table is one flat allocation.
+// Entry is the directory's per-peer hot state, composed on read from the
+// internal columns (the directory no longer stores Entry rows).
 type Entry struct {
 	Ver          Version
 	Known        bool
@@ -95,6 +100,13 @@ type Entry struct {
 	DiffSize     int32
 	OfflineSince time.Duration
 }
+
+// Per-peer flag bits (one byte per peer in the flags column).
+const (
+	flagKnown uint8 = 1 << iota
+	flagOnline
+	flagSlow
+)
 
 // meta holds live-mode cold state.
 type meta struct {
@@ -117,11 +129,23 @@ type tombstone struct {
 // Directory is one peer's replica of the global directory. It is
 // thread-safe: the live transport receives messages concurrently.
 type Directory struct {
-	mu      sync.RWMutex
-	self    PeerID
-	entries []Entry
-	meta    map[PeerID]*meta
-	tombs   map[PeerID]tombstone
+	mu   sync.RWMutex
+	self PeerID
+
+	// Columnar per-peer hot state, indexed by PeerID. Parallel columns
+	// instead of an []Entry row table: no padding, and the cold
+	// OfflineSince stamp (populated only while a peer is believed
+	// off-line) lives in the sparse offSince map.
+	vers     []Version
+	flags    []uint8
+	paySize  []int32
+	diffSize []int32
+	offSince map[PeerID]time.Duration
+
+	meta   map[PeerID]*meta
+	intern map[string]string // address string interning
+	tombs  map[PeerID]tombstone
+
 	digest  uint64
 	nKnown  int
 	nOnline int
@@ -134,6 +158,11 @@ type Directory struct {
 
 	// cached summary, shared immutably; nil when stale.
 	summaryCache []Version
+
+	// onEvict, when set, is called (outside the lock) with the ids whose
+	// records were superseded or dropped, so downstream caches holding
+	// decoded state for the old version can release it.
+	onEvict func(ids []PeerID)
 }
 
 // New returns a directory for peer self in a community whose id space is
@@ -141,10 +170,15 @@ type Directory struct {
 // space size; callers insert records (including self's) via Upsert.
 func New(self PeerID, capacity int) *Directory {
 	return &Directory{
-		self:    self,
-		entries: make([]Entry, capacity),
-		meta:    make(map[PeerID]*meta),
-		tombs:   make(map[PeerID]tombstone),
+		self:     self,
+		vers:     make([]Version, capacity),
+		flags:    make([]uint8, capacity),
+		paySize:  make([]int32, capacity),
+		diffSize: make([]int32, capacity),
+		offSince: make(map[PeerID]time.Duration),
+		meta:     make(map[PeerID]*meta),
+		intern:   make(map[string]string),
+		tombs:    make(map[PeerID]tombstone),
 	}
 }
 
@@ -152,7 +186,58 @@ func New(self PeerID, capacity int) *Directory {
 func (d *Directory) Self() PeerID { return d.self }
 
 // Capacity returns the size of the id space.
-func (d *Directory) Capacity() int { return len(d.entries) }
+func (d *Directory) Capacity() int { return len(d.vers) }
+
+// SetOnEvict registers a callback invoked — outside the directory lock,
+// after the mutation commits — with the ids whose records were superseded
+// by a newer version or garbage-collected by DropDead. Filter caches hook
+// this to release decoded state promptly instead of leaking it until the
+// next probe happens to notice the version change.
+func (d *Directory) SetOnEvict(fn func(ids []PeerID)) {
+	d.mu.Lock()
+	d.onEvict = fn
+	d.mu.Unlock()
+}
+
+// inRange reports whether id indexes the columns.
+func (d *Directory) inRange(id PeerID) bool {
+	return int(id) >= 0 && int(id) < len(d.vers)
+}
+
+// knownLocked reports whether id holds a record.
+func (d *Directory) knownLocked(id PeerID) bool {
+	return d.inRange(id) && d.flags[id]&flagKnown != 0
+}
+
+// entryLocked composes the public Entry view from the columns.
+func (d *Directory) entryLocked(id PeerID) Entry {
+	fl := d.flags[id]
+	e := Entry{
+		Ver:         d.vers[id],
+		Known:       fl&flagKnown != 0,
+		Online:      fl&flagOnline != 0,
+		PayloadSize: d.paySize[id],
+		DiffSize:    d.diffSize[id],
+	}
+	if fl&flagSlow != 0 {
+		e.Class = Slow
+	}
+	if fl&flagKnown != 0 && fl&flagOnline == 0 {
+		e.OfflineSince = d.offSince[id]
+	}
+	return e
+}
+
+// internLocked returns a canonical instance of addr. Gossip re-delivers
+// the same contact address many times (every record transfer decodes a
+// fresh string); interning keeps one copy per distinct address.
+func (d *Directory) internLocked(addr string) string {
+	if s, ok := d.intern[addr]; ok {
+		return s
+	}
+	d.intern[addr] = addr
+	return addr
+}
 
 // recHash mixes an (id, version) pair for the incremental digest.
 func recHash(id PeerID, v Version) uint64 {
@@ -172,48 +257,63 @@ func recHash(id PeerID, v Version) uint64 {
 // peer implies it recently announced something.
 func (d *Directory) Upsert(rec Record) bool {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	if int(rec.ID) < 0 || int(rec.ID) >= len(d.entries) {
-		return false
+	accepted, superseded := d.upsertLocked(rec)
+	cb := d.onEvict
+	d.mu.Unlock()
+	if superseded && cb != nil {
+		cb([]PeerID{rec.ID})
+	}
+	return accepted
+}
+
+// upsertLocked does the Upsert work; the second result reports whether an
+// existing record was replaced by a newer version (eviction-hook food).
+func (d *Directory) upsertLocked(rec Record) (accepted, superseded bool) {
+	if !d.inRange(rec.ID) {
+		return false, false
 	}
 	if tomb, ok := d.tombs[rec.ID]; ok {
 		if !tomb.ver.Less(rec.Ver) {
 			// Death certificate: this incarnation (or older) was already
 			// garbage-collected here; do not resurrect it.
-			return false
+			return false, false
 		}
 		// A strictly newer version is a genuine rejoin; the certificate
 		// has served its purpose.
 		delete(d.tombs, rec.ID)
 	}
-	e := &d.entries[rec.ID]
-	if e.Known && !e.Ver.Less(rec.Ver) {
-		return false
+	id := rec.ID
+	known := d.flags[id]&flagKnown != 0
+	if known && !d.vers[id].Less(rec.Ver) {
+		return false, false
 	}
-	if e.Known {
-		d.digest ^= recHash(rec.ID, e.Ver)
+	if known {
+		d.digest ^= recHash(id, d.vers[id])
+		superseded = true
 	} else {
 		d.nKnown++
 	}
-	d.digest ^= recHash(rec.ID, rec.Ver)
-	if !e.Online {
+	d.digest ^= recHash(id, rec.Ver)
+	if d.flags[id]&flagOnline == 0 {
 		d.nOnline++
 	}
-	e.Ver = rec.Ver
-	e.Known = true
-	e.Online = true
-	e.Class = rec.Class
-	e.PayloadSize = rec.PayloadSize
-	e.DiffSize = rec.DiffSize
-	e.OfflineSince = 0
+	d.vers[id] = rec.Ver
+	fl := flagKnown | flagOnline
+	if rec.Class == Slow {
+		fl |= flagSlow
+	}
+	d.flags[id] = fl
+	d.paySize[id] = rec.PayloadSize
+	d.diffSize[id] = rec.DiffSize
+	delete(d.offSince, id)
 	if rec.Addr != "" || rec.Payload != nil {
-		m := d.meta[rec.ID]
+		m := d.meta[id]
 		if m == nil {
 			m = &meta{}
-			d.meta[rec.ID] = m
+			d.meta[id] = m
 		}
 		if rec.Addr != "" {
-			m.addr = rec.Addr
+			m.addr = d.internLocked(rec.Addr)
 		}
 		if rec.Payload != nil {
 			m.payload = rec.Payload
@@ -221,7 +321,7 @@ func (d *Directory) Upsert(rec Record) bool {
 	}
 	d.summaryCache = nil
 	d.gen.Add(1)
-	return true
+	return true, superseded
 }
 
 // Get returns the full record for id and whether it is known.
@@ -232,10 +332,10 @@ func (d *Directory) Get(id PeerID) (Record, bool) {
 }
 
 func (d *Directory) getLocked(id PeerID) (Record, bool) {
-	if int(id) < 0 || int(id) >= len(d.entries) || !d.entries[id].Known {
+	if !d.knownLocked(id) {
 		return Record{}, false
 	}
-	e := d.entries[id]
+	e := d.entryLocked(id)
 	rec := Record{
 		ID: id, Ver: e.Ver, Class: e.Class,
 		PayloadSize: e.PayloadSize, DiffSize: e.DiffSize,
@@ -247,24 +347,40 @@ func (d *Directory) getLocked(id PeerID) (Record, bool) {
 	return rec, true
 }
 
+// Payload returns the compressed Bloom-filter payload and version for id.
+// ok is false when the peer is unknown or carries no payload. This is the
+// filtercache.Source access path: unlike Get it does not compose a Record.
+func (d *Directory) Payload(id PeerID) ([]byte, Version, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if !d.knownLocked(id) {
+		return nil, Version{}, false
+	}
+	m := d.meta[id]
+	if m == nil || m.payload == nil {
+		return nil, d.vers[id], false
+	}
+	return m.payload, d.vers[id], true
+}
+
 // Entry returns the hot state for id.
 func (d *Directory) Entry(id PeerID) (Entry, bool) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	if int(id) < 0 || int(id) >= len(d.entries) || !d.entries[id].Known {
+	if !d.knownLocked(id) {
 		return Entry{}, false
 	}
-	return d.entries[id], true
+	return d.entryLocked(id), true
 }
 
 // VersionOf returns the known version of id (zero Version if unknown).
 func (d *Directory) VersionOf(id PeerID) Version {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	if int(id) < 0 || int(id) >= len(d.entries) {
+	if !d.inRange(id) {
 		return Version{}
 	}
-	return d.entries[id].Ver
+	return d.vers[id]
 }
 
 // MarkOffline records the local opinion that id is off-line as of now.
@@ -272,15 +388,11 @@ func (d *Directory) VersionOf(id PeerID) Version {
 func (d *Directory) MarkOffline(id PeerID, now time.Duration) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if int(id) < 0 || int(id) >= len(d.entries) {
+	if !d.knownLocked(id) || d.flags[id]&flagOnline == 0 {
 		return
 	}
-	e := &d.entries[id]
-	if !e.Known || !e.Online {
-		return
-	}
-	e.Online = false
-	e.OfflineSince = now
+	d.flags[id] &^= flagOnline
+	d.offSince[id] = now
 	d.nOnline--
 	d.gen.Add(1)
 }
@@ -290,15 +402,11 @@ func (d *Directory) MarkOffline(id PeerID, now time.Duration) {
 func (d *Directory) MarkOnline(id PeerID) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if int(id) < 0 || int(id) >= len(d.entries) {
+	if !d.knownLocked(id) || d.flags[id]&flagOnline != 0 {
 		return
 	}
-	e := &d.entries[id]
-	if !e.Known || e.Online {
-		return
-	}
-	e.Online = true
-	e.OfflineSince = 0
+	d.flags[id] |= flagOnline
+	delete(d.offSince, id)
 	d.nOnline++
 	d.gen.Add(1)
 }
@@ -317,22 +425,34 @@ func (d *Directory) MarkOnline(id PeerID) {
 // so it never outgrows the entry table it shadows.
 func (d *Directory) DropDead(tDead time.Duration, now time.Duration) []PeerID {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	var dropped []PeerID
-	for id := range d.entries {
-		e := &d.entries[id]
-		if e.Known && !e.Online && now-e.OfflineSince >= tDead {
-			d.digest ^= recHash(PeerID(id), e.Ver)
-			d.tombs[PeerID(id)] = tombstone{ver: e.Ver}
-			*e = Entry{}
-			delete(d.meta, PeerID(id))
-			d.nKnown--
-			dropped = append(dropped, PeerID(id))
+	for id, since := range d.offSince {
+		if d.flags[id]&flagKnown == 0 || now-since < tDead {
+			continue
 		}
+		d.digest ^= recHash(id, d.vers[id])
+		d.tombs[id] = tombstone{ver: d.vers[id]}
+		d.vers[id] = Version{}
+		d.flags[id] = 0
+		d.paySize[id] = 0
+		d.diffSize[id] = 0
+		delete(d.offSince, id)
+		delete(d.meta, id)
+		d.nKnown--
+		dropped = append(dropped, id)
 	}
 	if dropped != nil {
+		// The off-line map iterates in arbitrary order; sort so drop
+		// notifications (and everything downstream, e.g. the simulator's
+		// OnDrop hooks) stay deterministic.
+		sort.Slice(dropped, func(i, j int) bool { return dropped[i] < dropped[j] })
 		d.summaryCache = nil
 		d.gen.Add(1)
+	}
+	cb := d.onEvict
+	d.mu.Unlock()
+	if dropped != nil && cb != nil {
+		cb(dropped)
 	}
 	return dropped
 }
@@ -376,15 +496,50 @@ func (d *Directory) Summary() []Version {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.summaryCache == nil {
-		s := make([]Version, len(d.entries))
-		for id := range d.entries {
-			if d.entries[id].Known {
-				s[id] = d.entries[id].Ver
+		s := make([]Version, len(d.vers))
+		for id := range d.vers {
+			if d.flags[id]&flagKnown != 0 {
+				s[id] = d.vers[id]
 			}
 		}
 		d.summaryCache = s
 	}
 	return d.summaryCache
+}
+
+// SummaryRange returns the version-vector chunk covering ids
+// [from, from+limit): chunk[i] is the version of peer from+i (zero =
+// unknown). next is the cursor for the following chunk, or None when this
+// chunk reaches the end of the id space. known counts the non-zero
+// versions in the chunk (wire accounting charges per known record). The
+// chunk is freshly allocated and bounded by limit — this is the streaming
+// anti-entropy path, which never materializes the full vector.
+func (d *Directory) SummaryRange(from PeerID, limit int) (chunk []Version, next PeerID, known int) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	n := len(d.vers)
+	if from < 0 {
+		from = 0
+	}
+	if int(from) >= n || limit <= 0 {
+		return nil, None, 0
+	}
+	end := int(from) + limit
+	if end > n {
+		end = n
+	}
+	chunk = make([]Version, end-int(from))
+	for i := range chunk {
+		id := int(from) + i
+		if d.flags[id]&flagKnown != 0 {
+			chunk[i] = d.vers[id]
+			known++
+		}
+	}
+	if end == n {
+		return chunk, None, known
+	}
+	return chunk, PeerID(end), known
 }
 
 // Missing compares the local state against a remote summary and returns
@@ -397,27 +552,37 @@ type NeedEntry struct {
 
 // Missing returns what to pull from a peer whose summary is remote.
 func (d *Directory) Missing(remote []Version) []NeedEntry {
+	return d.MissingRange(remote, 0)
+}
+
+// MissingRange is Missing for a summary chunk whose index 0 corresponds
+// to peer id base (streaming anti-entropy compares one bounded chunk at a
+// time).
+func (d *Directory) MissingRange(remote []Version, base PeerID) []NeedEntry {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
+	if base < 0 {
+		return nil
+	}
 	var need []NeedEntry
 	n := len(remote)
-	if n > len(d.entries) {
-		n = len(d.entries)
+	if max := len(d.vers) - int(base); n > max {
+		n = max
 	}
-	for id := 0; id < n; id++ {
-		rv := remote[id]
+	for i := 0; i < n; i++ {
+		rv := remote[i]
 		if rv.IsZero() {
 			continue
 		}
-		e := &d.entries[id]
-		if !e.Known || e.Ver.Less(rv) {
+		id := base + PeerID(i)
+		if d.flags[id]&flagKnown == 0 || d.vers[id].Less(rv) {
 			// A certified-dead version is not worth pulling: Upsert would
 			// reject it anyway. Skipping it here saves the wasted record
 			// transfer on every exchange until the remote drops it too.
-			if tomb, ok := d.tombs[PeerID(id)]; ok && !tomb.ver.Less(rv) {
+			if tomb, ok := d.tombs[id]; ok && !tomb.ver.Less(rv) {
 				continue
 			}
-			need = append(need, NeedEntry{ID: PeerID(id), Have: e.Ver})
+			need = append(need, NeedEntry{ID: id, Have: d.vers[id]})
 		}
 	}
 	return need
@@ -433,13 +598,15 @@ type PickFilter func(id PeerID, e Entry) bool
 func (d *Directory) PickOnline(rng *rand.Rand, filter PickFilter) (PeerID, bool) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	n := len(d.entries)
+	n := len(d.vers)
 	if n == 0 || d.nOnline == 0 {
 		return None, false
 	}
 	ok := func(id PeerID) bool {
-		e := d.entries[id]
-		return e.Known && e.Online && id != d.self && (filter == nil || filter(id, e))
+		if d.flags[id]&(flagKnown|flagOnline) != flagKnown|flagOnline || id == d.self {
+			return false
+		}
+		return filter == nil || filter(id, d.entryLocked(id))
 	}
 	for attempt := 0; attempt < 64; attempt++ {
 		id := PeerID(rng.Intn(n))
@@ -465,16 +632,16 @@ func (d *Directory) PickOnline(rng *rand.Rand, filter PickFilter) (PeerID, bool)
 // self, or (None, false) when every known peer is on-line. The gossip
 // layer uses it to probe suspected-dead peers for recovery — the path by
 // which a healed partition or a transiently unreachable peer is
-// rediscovered. Linear reservoir scan: off-line peers are the exception
-// and the call runs at most once every few rounds.
+// rediscovered. Linear reservoir scan in id order — NOT over the sparse
+// off-line map, whose iteration order would consume the shared RNG
+// nondeterministically and break simulator reproducibility.
 func (d *Directory) PickOffline(rng *rand.Rand) (PeerID, bool) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	var chosen PeerID = None
 	count := 0
-	for id := range d.entries {
-		e := &d.entries[id]
-		if e.Known && !e.Online && PeerID(id) != d.self {
+	for id := range d.flags {
+		if d.flags[id]&flagKnown != 0 && d.flags[id]&flagOnline == 0 && PeerID(id) != d.self {
 			count++
 			if rng.Intn(count) == 0 {
 				chosen = PeerID(id)
@@ -490,8 +657,8 @@ func (d *Directory) OnlineIDs() []PeerID {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	out := make([]PeerID, 0, d.nOnline)
-	for id := range d.entries {
-		if d.entries[id].Known && d.entries[id].Online {
+	for id := range d.flags {
+		if d.flags[id]&(flagKnown|flagOnline) == flagKnown|flagOnline {
 			out = append(out, PeerID(id))
 		}
 	}
@@ -513,9 +680,8 @@ func (d *Directory) SampleOnline(rng *rand.Rand, max int) []Record {
 	defer d.mu.RUnlock()
 	var out []Record
 	count := 0
-	for id := range d.entries {
-		e := &d.entries[id]
-		if !e.Known || !e.Online || PeerID(id) == d.self {
+	for id := range d.flags {
+		if d.flags[id]&(flagKnown|flagOnline) != flagKnown|flagOnline || PeerID(id) == d.self {
 			continue
 		}
 		count++
@@ -530,7 +696,7 @@ func (d *Directory) SampleOnline(rng *rand.Rand, max int) []Record {
 
 // sampleRecordLocked builds a payload-free record for SampleOnline.
 func (d *Directory) sampleRecordLocked(id PeerID) Record {
-	e := d.entries[id]
+	e := d.entryLocked(id)
 	rec := Record{
 		ID: id, Ver: e.Ver, Class: e.Class,
 		PayloadSize: e.PayloadSize, DiffSize: e.DiffSize,
@@ -546,8 +712,8 @@ func (d *Directory) KnownIDs() []PeerID {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	out := make([]PeerID, 0, d.nKnown)
-	for id := range d.entries {
-		if d.entries[id].Known {
+	for id := range d.flags {
+		if d.flags[id]&flagKnown != 0 {
 			out = append(out, PeerID(id))
 		}
 	}

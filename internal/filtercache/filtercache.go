@@ -1,0 +1,347 @@
+// Package filtercache keeps a peer's view of remote Bloom filters
+// compressed-resident under a byte budget.
+//
+// The directory replica stores one Golomb-compressed Bloom filter per
+// remote peer. The query engine wants to probe those filters on every
+// search, and decompressing each into a full bitset (the pre-cache
+// behaviour) costs O(N × filter bytes) resident memory — ~50 KB per peer
+// at the paper's geometry, which is what caps a node's community size.
+//
+// This cache holds two tiers under one budget:
+//
+//   - Compact tier: every recently probed peer's filter as a
+//     bloom.Compact (sorted set-bit positions, ~10× smaller than the
+//     bitset for paper-scale term counts), probed by binary search.
+//   - Hot tier: a small LRU of fully decompressed filters for peers
+//     probed at least PromoteAfter times at their current version, so
+//     frequently searched peers keep the O(1) bit-probe fast path.
+//
+// Entries are (re)built from the Source on demand, invalidated when the
+// peer's record version changes, and evicted least-recently-probed first
+// when the budget is exceeded. Eviction is cheap to undo — the compressed
+// payload still lives in the directory — so the budget can be small
+// without correctness risk: a probe of an evicted peer is a miss, never a
+// wrong answer.
+package filtercache
+
+import (
+	"container/list"
+	"sync"
+
+	"planetp/internal/bloom"
+	"planetp/internal/directory"
+	"planetp/internal/metrics"
+)
+
+// Source supplies the authoritative compressed filter for a peer: the
+// wire payload (bloom.Compress encoding) and the record version it
+// belongs to. A false ok means the peer is unknown or carries no filter.
+type Source interface {
+	Payload(id directory.PeerID) (payload []byte, ver directory.Version, ok bool)
+}
+
+// Defaults.
+const (
+	// DefaultBudget bounds total resident bytes across both tiers.
+	// 64 MiB holds the compact form of ~8k paper-geometry peers with
+	// 1000 terms each, or ~600 fully hot filters.
+	DefaultBudget = 64 << 20
+	// DefaultHotFraction is the share of the budget the hot tier may use.
+	DefaultHotFraction = 0.5
+	// DefaultPromoteAfter is how many probes of one (peer, version) it
+	// takes to earn a decompressed filter.
+	DefaultPromoteAfter = 4
+)
+
+// Config parameterizes a Cache. Zero values select the defaults.
+type Config struct {
+	// Budget is the maximum resident bytes across both tiers (compact
+	// position lists plus hot bitsets). <0 disables the hot tier and
+	// keeps only a minimal compact working set (one entry).
+	Budget int64
+	// HotFraction is the maximum share of Budget spent on decompressed
+	// hot filters.
+	HotFraction float64
+	// PromoteAfter is the probe count at one version that promotes a
+	// peer to the hot tier.
+	PromoteAfter int
+	// Metrics receives core_filter_cache_{hits,misses,evictions,
+	// resident_bytes}. nil disables instrumentation.
+	Metrics *metrics.Registry
+}
+
+// Stats is a point-in-time summary of cache state.
+type Stats struct {
+	Hits           int64
+	Misses         int64
+	Evictions      int64
+	ResidentBytes  int64
+	CompactEntries int
+	HotEntries     int
+}
+
+type entry struct {
+	id      directory.PeerID
+	ver     directory.Version
+	compact *bloom.Compact
+	hot     *bloom.Filter
+	probes  int
+	cbytes  int64 // compact-tier charge
+	hbytes  int64 // hot-tier charge (0 when not hot)
+	elem    *list.Element
+	hotElem *list.Element
+}
+
+// Cache is the two-tier filter cache. All methods are safe for concurrent
+// use. Probe results come from immutable snapshots (Compact and promoted
+// Filter values are never mutated after construction), so probing itself
+// runs outside the cache lock.
+type Cache struct {
+	src          Source
+	budget       int64
+	hotBudget    int64
+	promoteAfter int
+
+	mu           sync.Mutex
+	entries      map[directory.PeerID]*entry
+	lru          *list.List // all entries, front = most recently probed
+	hotLRU       *list.List // hot entries only
+	compactBytes int64
+	hotBytes     int64
+
+	hits      *metrics.Counter
+	misses    *metrics.Counter
+	evictions *metrics.Counter
+	resident  *metrics.Gauge
+	statHits  int64
+	statMiss  int64
+	statEvict int64
+}
+
+// New returns a cache over src.
+func New(src Source, cfg Config) *Cache {
+	if cfg.Budget == 0 {
+		cfg.Budget = DefaultBudget
+	}
+	if cfg.HotFraction <= 0 || cfg.HotFraction > 1 {
+		cfg.HotFraction = DefaultHotFraction
+	}
+	if cfg.PromoteAfter <= 0 {
+		cfg.PromoteAfter = DefaultPromoteAfter
+	}
+	hot := int64(float64(cfg.Budget) * cfg.HotFraction)
+	if cfg.Budget < 0 {
+		cfg.Budget = 0
+		hot = 0
+	}
+	return &Cache{
+		src:          src,
+		budget:       cfg.Budget,
+		hotBudget:    hot,
+		promoteAfter: cfg.PromoteAfter,
+		entries:      make(map[directory.PeerID]*entry),
+		lru:          list.New(),
+		hotLRU:       list.New(),
+		hits:         cfg.Metrics.Counter("core_filter_cache_hits"),
+		misses:       cfg.Metrics.Counter("core_filter_cache_misses"),
+		evictions:    cfg.Metrics.Counter("core_filter_cache_evictions"),
+		resident:     cfg.Metrics.Gauge("core_filter_cache_resident_bytes"),
+	}
+}
+
+// hotFilterBytes is the resident charge for a decompressed filter.
+func hotFilterBytes(c *bloom.Compact) int64 {
+	const structOverhead = 64
+	return int64(c.NumBits())/8 + structOverhead
+}
+
+// view returns an immutable probe snapshot for id: the compact form and,
+// if promoted, the decompressed filter. ok is false when the peer is
+// unknown, filterless, or its payload fails to decode.
+func (c *Cache) view(id directory.PeerID) (*bloom.Compact, *bloom.Filter, bool) {
+	payload, ver, ok := c.src.Payload(id)
+	if !ok || payload == nil {
+		c.Invalidate(id)
+		return nil, nil, false
+	}
+
+	c.mu.Lock()
+	e := c.entries[id]
+	if e != nil && e.ver == ver {
+		// Hit: the cached decode is current.
+		c.statHits++
+		c.hits.Inc()
+		c.lru.MoveToFront(e.elem)
+		e.probes++
+		if e.hot != nil {
+			c.hotLRU.MoveToFront(e.hotElem)
+			cp, hf := e.compact, e.hot
+			c.mu.Unlock()
+			return cp, hf, true
+		}
+		if e.probes >= c.promoteAfter {
+			c.promoteLocked(e)
+		}
+		cp, hf := e.compact, e.hot
+		c.mu.Unlock()
+		return cp, hf, true
+	}
+
+	// Miss (unknown, or version changed under us).
+	c.statMiss++
+	c.misses.Inc()
+	if e != nil {
+		// Superseded version: release the stale decode.
+		c.removeLocked(e, true)
+	}
+	compact, err := bloom.DecodeCompact(payload)
+	if err != nil {
+		c.publishResidentLocked()
+		c.mu.Unlock()
+		return nil, nil, false
+	}
+	e = &entry{
+		id: id, ver: ver, compact: compact, probes: 1,
+		cbytes: int64(compact.SizeBytes()),
+	}
+	e.elem = c.lru.PushFront(e)
+	c.entries[id] = e
+	c.compactBytes += e.cbytes
+	c.enforceBudgetLocked(e)
+	c.publishResidentLocked()
+	cp := e.compact
+	c.mu.Unlock()
+	return cp, nil, true
+}
+
+// promoteLocked materializes the full bitset for a hot entry and rebalances
+// the hot tier.
+func (c *Cache) promoteLocked(e *entry) {
+	hb := hotFilterBytes(e.compact)
+	if hb > c.hotBudget {
+		return // filter alone exceeds the hot tier; stay compact
+	}
+	e.hot = e.compact.Filter()
+	e.hbytes = hb
+	e.hotElem = c.hotLRU.PushFront(e)
+	c.hotBytes += hb
+	// Demote least-recently-probed hot filters (keep their compact form).
+	for c.hotBytes > c.hotBudget {
+		tail := c.hotLRU.Back()
+		if tail == nil || tail == e.hotElem {
+			break
+		}
+		c.demoteLocked(tail.Value.(*entry))
+	}
+	c.enforceBudgetLocked(e)
+	c.publishResidentLocked()
+}
+
+// demoteLocked drops an entry's decompressed filter, keeping it probeable
+// via its compact form.
+func (c *Cache) demoteLocked(e *entry) {
+	if e.hot == nil {
+		return
+	}
+	c.hotLRU.Remove(e.hotElem)
+	c.hotBytes -= e.hbytes
+	e.hot = nil
+	e.hotElem = nil
+	e.hbytes = 0
+	e.probes = 0 // must re-earn promotion
+}
+
+// removeLocked discards an entry entirely, optionally counting it as an
+// eviction (version churn and budget pressure count; misses that never
+// decoded do not).
+func (c *Cache) removeLocked(e *entry, countEviction bool) {
+	c.demoteLocked(e)
+	c.lru.Remove(e.elem)
+	c.compactBytes -= e.cbytes
+	delete(c.entries, e.id)
+	if countEviction {
+		c.statEvict++
+		c.evictions.Inc()
+	}
+}
+
+// enforceBudgetLocked evicts least-recently-probed entries until the
+// combined tiers fit the budget. keep (the entry just touched) is never
+// evicted, so a single oversized filter still works with a tiny budget.
+func (c *Cache) enforceBudgetLocked(keep *entry) {
+	for c.compactBytes+c.hotBytes > c.budget {
+		tail := c.lru.Back()
+		if tail == nil || tail.Value.(*entry) == keep {
+			break
+		}
+		c.removeLocked(tail.Value.(*entry), true)
+	}
+}
+
+// publishResidentLocked pushes the byte gauge.
+func (c *Cache) publishResidentLocked() {
+	c.resident.Set(c.compactBytes + c.hotBytes)
+}
+
+// ContainsDigest probes id's filter with a precomputed digest. Unknown or
+// filterless peers report false.
+func (c *Cache) ContainsDigest(id directory.PeerID, d bloom.Digest) bool {
+	compact, hot, ok := c.view(id)
+	if !ok {
+		return false
+	}
+	if hot != nil {
+		return hot.ContainsDigest(d)
+	}
+	return compact.ContainsDigest(d)
+}
+
+// ContainsAllDigests probes id's filter with every digest (conjunctive).
+func (c *Cache) ContainsAllDigests(id directory.PeerID, ds []bloom.Digest) bool {
+	compact, hot, ok := c.view(id)
+	if !ok {
+		return false
+	}
+	if hot != nil {
+		return hot.ContainsAllDigests(ds)
+	}
+	return compact.ContainsAllDigests(ds)
+}
+
+// Contains probes id's filter with a term.
+func (c *Cache) Contains(id directory.PeerID, term string) bool {
+	return c.ContainsDigest(id, bloom.MakeDigest(term))
+}
+
+// Invalidate discards any cached state for id. Call when the peer's record
+// is superseded or dropped — the pre-cache implementation skipped this and
+// leaked every churned-out peer's decompressed filter.
+func (c *Cache) Invalidate(id directory.PeerID) {
+	c.mu.Lock()
+	if e := c.entries[id]; e != nil {
+		c.removeLocked(e, true)
+		c.publishResidentLocked()
+	}
+	c.mu.Unlock()
+}
+
+// ResidentBytes returns the current charge across both tiers.
+func (c *Cache) ResidentBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.compactBytes + c.hotBytes
+}
+
+// Stats returns a consistent snapshot.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:           c.statHits,
+		Misses:         c.statMiss,
+		Evictions:      c.statEvict,
+		ResidentBytes:  c.compactBytes + c.hotBytes,
+		CompactEntries: len(c.entries),
+		HotEntries:     c.hotLRU.Len(),
+	}
+}

@@ -1,0 +1,302 @@
+package filtercache
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"planetp/internal/bloom"
+	"planetp/internal/directory"
+	"planetp/internal/metrics"
+)
+
+// fakeSource is an in-memory Source for tests.
+type fakeSource struct {
+	mu       sync.Mutex
+	payloads map[directory.PeerID][]byte
+	vers     map[directory.PeerID]directory.Version
+}
+
+func newFakeSource() *fakeSource {
+	return &fakeSource{
+		payloads: make(map[directory.PeerID][]byte),
+		vers:     make(map[directory.PeerID]directory.Version),
+	}
+}
+
+func (s *fakeSource) Payload(id directory.PeerID) ([]byte, directory.Version, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.payloads[id]
+	return p, s.vers[id], ok
+}
+
+func (s *fakeSource) set(id directory.PeerID, f *bloom.Filter, ver directory.Version) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.payloads[id] = f.Compress()
+	s.vers[id] = ver
+}
+
+func (s *fakeSource) drop(id directory.PeerID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.payloads, id)
+	delete(s.vers, id)
+}
+
+// filterWith builds a small filter containing the given terms.
+func filterWith(terms ...string) *bloom.Filter {
+	f := bloom.New(4096, 2)
+	for _, t := range terms {
+		f.Insert(t)
+	}
+	return f
+}
+
+func TestCacheProbesMatchFilter(t *testing.T) {
+	src := newFakeSource()
+	f := filterWith("apple", "banana", "cherry")
+	src.set(1, f, directory.Version{Epoch: 1, Seq: 1})
+	c := New(src, Config{})
+
+	for _, term := range []string{"apple", "banana", "cherry", "durian", "elderberry"} {
+		if got, want := c.Contains(1, term), f.Contains(term); got != want {
+			t.Errorf("Contains(1, %q) = %v, want %v", term, got, want)
+		}
+	}
+	ds := bloom.MakeDigests([]string{"apple", "banana"})
+	if !c.ContainsAllDigests(1, ds) {
+		t.Error("conjunctive probe of present terms failed")
+	}
+	if c.ContainsAllDigests(1, bloom.MakeDigests([]string{"apple", "absent-term"})) {
+		t.Error("conjunctive probe with absent term passed")
+	}
+	if c.Contains(99, "apple") {
+		t.Error("unknown peer reported membership")
+	}
+}
+
+func TestCacheHitMissAccounting(t *testing.T) {
+	src := newFakeSource()
+	src.set(1, filterWith("x"), directory.Version{Epoch: 1, Seq: 1})
+	reg := metrics.NewRegistry()
+	c := New(src, Config{Metrics: reg})
+
+	c.Contains(1, "x") // miss + decode
+	c.Contains(1, "x") // hit
+	c.Contains(1, "x") // hit
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 2 {
+		t.Fatalf("stats = %+v, want 1 miss 2 hits", st)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["core_filter_cache_misses"] != 1 || snap.Counters["core_filter_cache_hits"] != 2 {
+		t.Fatalf("metrics = %v", snap.Counters)
+	}
+	if snap.Gauges["core_filter_cache_resident_bytes"] != st.ResidentBytes {
+		t.Fatalf("resident gauge %d != stats %d",
+			snap.Gauges["core_filter_cache_resident_bytes"], st.ResidentBytes)
+	}
+	if st.ResidentBytes <= 0 {
+		t.Fatal("no resident bytes after a decode")
+	}
+}
+
+func TestCacheVersionChangeInvalidates(t *testing.T) {
+	src := newFakeSource()
+	src.set(1, filterWith("old-term"), directory.Version{Epoch: 1, Seq: 1})
+	c := New(src, Config{})
+
+	if !c.Contains(1, "old-term") {
+		t.Fatal("old term missing")
+	}
+	// Version bump with a different filter: probes must see the new one.
+	src.set(1, filterWith("new-term"), directory.Version{Epoch: 1, Seq: 2})
+	if c.Contains(1, "old-term") {
+		t.Error("stale filter served after version bump")
+	}
+	if !c.Contains(1, "new-term") {
+		t.Error("new filter not served after version bump")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1 (the superseded decode)", st.Evictions)
+	}
+}
+
+func TestCacheInvalidateReleasesBytes(t *testing.T) {
+	src := newFakeSource()
+	for id := directory.PeerID(0); id < 8; id++ {
+		src.set(id, filterWith(fmt.Sprintf("term-%d", id)), directory.Version{Epoch: 1, Seq: 1})
+	}
+	c := New(src, Config{})
+	for id := directory.PeerID(0); id < 8; id++ {
+		c.Contains(id, "anything")
+	}
+	before := c.ResidentBytes()
+	if before <= 0 {
+		t.Fatal("nothing resident")
+	}
+	for id := directory.PeerID(0); id < 8; id++ {
+		c.Invalidate(id)
+	}
+	if got := c.ResidentBytes(); got != 0 {
+		t.Fatalf("resident bytes after full invalidate = %d, want 0", got)
+	}
+	st := c.Stats()
+	if st.CompactEntries != 0 || st.HotEntries != 0 {
+		t.Fatalf("entries remain after invalidate: %+v", st)
+	}
+}
+
+// TestCacheDroppedPeerReleasesBytes is the leak regression at the cache
+// layer: a peer that disappears from the source is released on its next
+// probe even without an explicit Invalidate call.
+func TestCacheDroppedPeerReleasesBytes(t *testing.T) {
+	src := newFakeSource()
+	src.set(1, filterWith("x"), directory.Version{Epoch: 1, Seq: 1})
+	c := New(src, Config{})
+	c.Contains(1, "x")
+	if c.ResidentBytes() == 0 {
+		t.Fatal("nothing resident")
+	}
+	src.drop(1)
+	if c.Contains(1, "x") {
+		t.Error("dropped peer reported membership")
+	}
+	if got := c.ResidentBytes(); got != 0 {
+		t.Fatalf("resident bytes after source drop = %d, want 0", got)
+	}
+}
+
+func TestCacheBudgetEnforced(t *testing.T) {
+	src := newFakeSource()
+	const n = 64
+	for id := directory.PeerID(0); id < n; id++ {
+		src.set(id, filterWith(fmt.Sprintf("term-%d", id)), directory.Version{Epoch: 1, Seq: 1})
+	}
+	// Budget that holds only a handful of compact entries.
+	const budget = 2048
+	c := New(src, Config{Budget: budget, PromoteAfter: 1 << 30})
+	for id := directory.PeerID(0); id < n; id++ {
+		if !c.Contains(id, fmt.Sprintf("term-%d", id)) {
+			t.Fatalf("peer %d term missing", id)
+		}
+		if got := c.ResidentBytes(); got > budget {
+			t.Fatalf("resident %d exceeds budget %d", got, budget)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite budget pressure")
+	}
+	if st.CompactEntries >= n {
+		t.Fatalf("all %d entries resident under a %d-byte budget", n, budget)
+	}
+	// Evicted peers still answer correctly (re-decoded on demand).
+	if !c.Contains(0, "term-0") {
+		t.Fatal("evicted peer no longer probeable")
+	}
+}
+
+func TestCacheHotPromotion(t *testing.T) {
+	src := newFakeSource()
+	src.set(1, filterWith("hot-term"), directory.Version{Epoch: 1, Seq: 1})
+	src.set(2, filterWith("cold-term"), directory.Version{Epoch: 1, Seq: 1})
+	c := New(src, Config{PromoteAfter: 3})
+
+	c.Contains(2, "cold-term")
+	for i := 0; i < 10; i++ {
+		c.Contains(1, "hot-term")
+	}
+	st := c.Stats()
+	if st.HotEntries != 1 {
+		t.Fatalf("hot entries = %d, want 1 (only the frequently probed peer)", st.HotEntries)
+	}
+	// The hot filter must keep answering identically.
+	if !c.Contains(1, "hot-term") || c.Contains(1, "absent") {
+		t.Fatal("hot-tier probe disagrees with filter contents")
+	}
+	// A version bump demotes and re-earns.
+	src.set(1, filterWith("hot-term"), directory.Version{Epoch: 1, Seq: 2})
+	c.Contains(1, "hot-term")
+	if st := c.Stats(); st.HotEntries != 0 {
+		t.Fatalf("hot entries after version bump = %d, want 0", st.HotEntries)
+	}
+}
+
+func TestCacheHotTierBounded(t *testing.T) {
+	src := newFakeSource()
+	const n = 16
+	for id := directory.PeerID(0); id < n; id++ {
+		src.set(id, filterWith(fmt.Sprintf("term-%d", id)), directory.Version{Epoch: 1, Seq: 1})
+	}
+	// Hot budget fits roughly two 4096-bit filters (512 B + overhead each).
+	c := New(src, Config{Budget: 1 << 20, HotFraction: 0.0015, PromoteAfter: 1})
+	for round := 0; round < 3; round++ {
+		for id := directory.PeerID(0); id < n; id++ {
+			c.Contains(id, fmt.Sprintf("term-%d", id))
+		}
+	}
+	st := c.Stats()
+	if st.HotEntries == 0 || st.HotEntries >= n {
+		t.Fatalf("hot entries = %d, want bounded in (0, %d)", st.HotEntries, n)
+	}
+}
+
+// TestCacheConcurrentChurn exercises probes against version bumps, drops,
+// and budget evictions under -race.
+func TestCacheConcurrentChurn(t *testing.T) {
+	src := newFakeSource()
+	const n = 32
+	for id := directory.PeerID(0); id < n; id++ {
+		src.set(id, filterWith(fmt.Sprintf("term-%d", id)), directory.Version{Epoch: 1, Seq: 1})
+	}
+	c := New(src, Config{Budget: 16 << 10, PromoteAfter: 2, Metrics: metrics.NewRegistry()})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := directory.PeerID(rng.Intn(n))
+				c.ContainsAllDigests(id, bloom.MakeDigests([]string{fmt.Sprintf("term-%d", id)}))
+			}
+		}(int64(g))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 2000; i++ {
+			id := directory.PeerID(rng.Intn(n))
+			switch rng.Intn(3) {
+			case 0:
+				src.set(id, filterWith(fmt.Sprintf("term-%d", id)),
+					directory.Version{Epoch: 1, Seq: uint32(i)})
+			case 1:
+				src.drop(id)
+				c.Invalidate(id)
+			case 2:
+				src.set(id, filterWith(fmt.Sprintf("term-%d", id)),
+					directory.Version{Epoch: 2, Seq: uint32(i)})
+			}
+		}
+		close(stop)
+	}()
+	wg.Wait()
+
+	if got := c.ResidentBytes(); got > 16<<10 {
+		t.Fatalf("resident %d exceeds budget after churn", got)
+	}
+}

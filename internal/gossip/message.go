@@ -102,12 +102,28 @@ type Message struct {
 	// charged as a full summary regardless — the real protocol always
 	// ships it.
 	Identical bool
-	// Summary is the dense version vector (MsgAESummary). Shared
-	// read-only slice; receivers must not modify it.
+	// Summary is a dense version vector (MsgAESummary): either the whole
+	// directory (index = PeerID) or, when streaming, one bounded chunk
+	// whose index 0 corresponds to peer SummaryFrom. Shared read-only
+	// slice for full summaries; receivers must not modify it.
 	Summary []directory.Version
-	// NumKnown is the number of known entries the summary covers (wire
-	// accounting).
+	// NumKnown is the number of known entries the summary (or chunk)
+	// covers (wire accounting).
 	NumKnown int
+
+	// Cursor asks the responder to start its summary at this peer id
+	// (MsgAERequest). <= 0 starts from the beginning; a positive cursor
+	// marks a streaming continuation, which skips the identical-digest
+	// fast path (the stream is already in progress).
+	Cursor directory.PeerID
+	// SummaryFrom is the peer id Summary[0] corresponds to
+	// (MsgAESummary). <= 0 for full summaries.
+	SummaryFrom directory.PeerID
+	// Next is the cursor of the following chunk (MsgAESummary), <= 0
+	// when this chunk reaches the end of the id space. The zero value
+	// therefore reads as "complete", keeping unchunked messages (and
+	// everything recorded before streaming existed) valid.
+	Next directory.PeerID
 }
 
 // Sizes holds the wire-size constants from Table 2 of the paper, used by
@@ -156,16 +172,24 @@ func (m *Message) WireSize(s Sizes) int {
 		}
 	case MsgAERequest:
 		n += 8 // digest
+		if m.Cursor > 0 {
+			n += 4 // streaming continuation cursor
+		}
 	case MsgAESummary:
 		// Demers-style anti-entropy exchanges checksums first and ships
 		// the per-peer summary (one BFSummary entry per known peer)
 		// only on mismatch; this is what makes converged-community
 		// bandwidth "negligible" (Section 3) while keeping the AE-only
 		// baseline's volume proportional to community size (its pushes
-		// are unsolicited, so they always carry the summary).
+		// are unsolicited, so they always carry the summary). Streamed
+		// replies charge only the chunk they carry (NumKnown counts the
+		// chunk's known records) plus the two cursor fields.
 		n += 8
 		if !m.Identical && m.NumKnown > 0 {
 			n += m.NumKnown * s.BFSummary
+		}
+		if m.SummaryFrom > 0 || m.Next > 0 {
+			n += 4 // chunk base + next cursor (packed)
 		}
 	}
 	return n
@@ -244,6 +268,15 @@ type Config struct {
 	// one multi-minute transfer (the paper's proposed accommodation for
 	// modem users joining large communities).
 	MaxPullBatch int
+	// SummaryChunk bounds how many peer ids one anti-entropy summary
+	// reply covers (default 4096). Requested summaries stream in chunks:
+	// the responder answers [Cursor, Cursor+SummaryChunk) of the id
+	// space and the requester issues continuation requests, so neither
+	// side ever materializes a full []Version per exchange at 100k-peer
+	// scale. Negative disables chunking (one full-summary reply). The
+	// AE-only baseline's unsolicited pushes always carry the full
+	// summary — that cost is the point of the baseline.
+	SummaryChunk int
 	// Mode selects the protocol variant.
 	Mode Mode
 	// BandwidthAware enables the two-class target selection.
@@ -296,6 +329,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.ExchangeMax == 0 {
 		c.ExchangeMax = 16
+	}
+	if c.SummaryChunk == 0 {
+		c.SummaryChunk = 4096
 	}
 	// Negative stays negative: the explicit "disabled" marker (LAN-NPA)
 	// must survive repeated normalization.

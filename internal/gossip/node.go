@@ -713,15 +713,31 @@ func (n *Node) receivePull(from directory.PeerID, m *Message) {
 }
 
 func (n *Node) receiveAERequest(from directory.PeerID, m *Message) {
-	digest := n.dir.Digest()
-	reply := &Message{
-		Type: MsgAESummary, From: n.id,
-		Digest: digest, NumKnown: n.dir.NumKnown(),
+	cursor := m.Cursor
+	if cursor < 0 {
+		cursor = 0
 	}
-	if digest == m.Digest {
+	digest := n.dir.Digest()
+	reply := &Message{Type: MsgAESummary, From: n.id, Digest: digest}
+	switch {
+	case cursor == 0 && digest == m.Digest:
+		// Converged fast path — only valid at the start of a stream; a
+		// continuation request means the exchange already found a
+		// difference and must run to the end of the id space.
 		reply.Identical = true
-	} else {
+		reply.NumKnown = n.dir.NumKnown()
+	case n.cfg.SummaryChunk > 0:
+		// Streaming: answer one bounded chunk of the id space and tell
+		// the requester where to continue. Neither side materializes the
+		// full version vector.
+		chunk, next, known := n.dir.SummaryRange(cursor, n.cfg.SummaryChunk)
+		reply.Summary = chunk
+		reply.SummaryFrom = cursor
+		reply.Next = next // directory.None (<= 0) when complete
+		reply.NumKnown = known
+	default:
 		reply.Summary = n.dir.Summary()
+		reply.NumKnown = n.dir.NumKnown()
 	}
 	n.mu.Lock()
 	n.stats.AESummaries++
@@ -731,9 +747,12 @@ func (n *Node) receiveAERequest(from directory.PeerID, m *Message) {
 }
 
 func (n *Node) receiveAESummary(from directory.PeerID, m *Message) {
-	if m.Identical || m.Digest == n.dir.Digest() {
+	if m.Identical || (m.SummaryFrom <= 0 && m.Digest == n.dir.Digest()) {
 		// Identical directories: count a gossip-less contact if we had
-		// nothing to rumor (Section 3's condition for slowing down).
+		// nothing to rumor (Section 3's condition for slowing down). The
+		// digest shortcut covers the whole remote directory, so it also
+		// ends a just-started stream; mid-stream chunks (SummaryFrom > 0)
+		// run to completion on their own cursor.
 		n.mu.Lock()
 		if len(n.active) == 0 {
 			n.gossiplessContactLocked()
@@ -741,10 +760,27 @@ func (n *Node) receiveAESummary(from directory.PeerID, m *Message) {
 		n.mu.Unlock()
 		return
 	}
-	need := n.dir.Missing(m.Summary)
+	base := m.SummaryFrom
+	if base < 0 {
+		base = 0
+	}
+	need := n.dir.MissingRange(m.Summary, base)
+	if m.Next > 0 {
+		// Streaming continuation: ask for the next chunk before pulling
+		// this one's records, so the stream advances even while a pull
+		// is in flight.
+		n.mu.Lock()
+		n.stats.AERequests++
+		n.mu.Unlock()
+		n.m.aeRequests.Inc()
+		n.sendOrSuspect(from, &Message{
+			Type: MsgAERequest, From: n.id,
+			Digest: n.dir.Digest(), Cursor: m.Next,
+		})
+	}
 	if len(need) == 0 {
-		// We are strictly ahead; nothing to pull. (The remote will
-		// catch up through its own exchanges.)
+		// We are strictly ahead on this span; nothing to pull. (The
+		// remote will catch up through its own exchanges.)
 		return
 	}
 	if n.cfg.MaxPullBatch > 0 && len(need) > n.cfg.MaxPullBatch {

@@ -8,7 +8,8 @@
 #                           # benchmarks to BENCH_ingest.json, serving-tier
 #                           # load test (live 2-node cluster + loadgen) to
 #                           # BENCH_serve.json, churn-storm simulation to
-#                           # BENCH_churn.json
+#                           # BENCH_churn.json, directory memory scaling
+#                           # (10k + 100k peers) to BENCH_directory.json
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -119,6 +120,12 @@ if [ "${1:-}" = "bench" ]; then
 	echo "== churn-storm simulation -> BENCH_churn.json"
 	go run ./cmd/gossipsim -exp churn-storm -n "${STORM_N:-32}" -seed 7 \
 		-json "$(pwd)/BENCH_churn.json"
+	echo "== directory memory scaling -> BENCH_directory.json"
+	go run ./cmd/gossipsim -exp directory-scale \
+		-sizes "${SCALE_SIZES:-10000,100000}" -seed 1 \
+		-converge-max "${SCALE_CONVERGE_MAX:-10000}" \
+		-max-bytes-per-peer "$(cat scripts/directory_budget)" \
+		-json "$(pwd)/BENCH_directory.json"
 	echo "== bench OK"
 	exit 0
 fi
@@ -163,6 +170,16 @@ echo "   serve smoke OK"
 echo "== self-assembly smoke (4 nodes, one seed address)"
 assembly_smoke /tmp/planetp-assembly-smoke 4
 echo "   assembly smoke OK"
+
+# Directory memory budget guard: one 10k-peer compressed-resident replica
+# must stay under the checked-in bytes/peer budget (scripts/directory_budget).
+# Memory-only (-converge-max 0), so it runs in seconds; a regression that
+# reverts to decompressed-resident filters (~56 KB/peer) fails loudly.
+echo "== directory memory budget guard (10k peers, $(cat scripts/directory_budget) B/peer)"
+go run ./cmd/gossipsim -exp directory-scale -sizes 10000 -seed 1 \
+	-converge-max 0 -max-bytes-per-peer "$(cat scripts/directory_budget)" \
+	>/dev/null
+echo "   directory budget OK"
 
 # Bench smoke: every root-package benchmark must still compile and
 # survive one iteration (full timings come from `scripts/check.sh bench`).
