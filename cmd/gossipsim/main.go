@@ -15,6 +15,8 @@
 //	gossipsim -exp restart [-n 50] [-drop 0.25] [-fault-seed 42]
 //	gossipsim -exp churn-storm [-n 32] [-rates 0.5,1,2,4] [-seed 7]
 //	          [-json BENCH_churn.json]
+//	gossipsim -exp replication [-n 32] [-docs 320] [-ks 1,3] [-seed 7]
+//	          [-json BENCH_replication.json]
 //	gossipsim -exp directory-scale [-sizes 10000,100000] [-terms 1000]
 //	          [-cache-budget 67108864] [-converge-max 10000]
 //	          [-max-bytes-per-peer 0] [-json BENCH_directory.json]
@@ -54,6 +56,8 @@ func main() {
 	docs := flag.Int("docs", 256, "ingest: documents in the publish burst")
 	batchesArg := flag.String("batches", "1,16,64,256", "ingest: batch sizes to sweep")
 	ratesArg := flag.String("rates", "0.5,1,2,4", "churn-storm: churn-rate multipliers to sweep")
+	ksArg := flag.String("ks", "1,3", "replication: replication factors to sweep")
+	repDocs := flag.Int("rep-docs", 320, "replication: modeled document population")
 	jsonPath := flag.String("json", "", "churn-storm/directory-scale: also write the full report as JSON to this path")
 	terms := flag.Int("terms", 1000, "directory-scale: keys per peer Bloom filter")
 	cacheBudget := flag.Int64("cache-budget", 0, "directory-scale: probe-cache byte budget (0 = 64 MiB default)")
@@ -91,6 +95,8 @@ func main() {
 		}, *seed)
 	case "churn-storm":
 		churnStorm(*n, parseFloats(*ratesArg), *seed, *jsonPath)
+	case "replication":
+		replication(*n, *repDocs, parseInts(*ksArg), *seed, *jsonPath)
 	case "directory-scale":
 		sizes := []int{10000, 100000}
 		flag.Visit(func(f *flag.Flag) {
@@ -352,6 +358,49 @@ func churnStorm(n int, rates []float64, seed int64, jsonPath string) {
 		fmt.Printf("%.2f,%d,%.4f,%.1f,%.1f,%.1f\n",
 			pt.Rate, pt.Events, pt.MeanStaleness, pt.MeanOnline,
 			pt.BytesPerSec, pt.BytesPerRound)
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("# wrote %s\n", jsonPath)
+	}
+}
+
+// replicationReport is the replication experiment's JSON shape
+// (BENCH_replication.json).
+type replicationReport struct {
+	N    int                           `json:"n"`
+	Docs int                           `json:"docs"`
+	Ks   []int                         `json:"ks"`
+	Seed int64                         `json:"seed"`
+	Runs []gossipsim.ReplicationResult `json:"runs"`
+}
+
+// replication: hit availability vs replication factor under the
+// mass-departure and partition-heal storms. At k=1 content dies with its
+// owners; at k=3 the hot decile rides out the storm on its replicas.
+// Deterministic for equal -n/-docs/-ks/-seed.
+func replication(n, docs int, ks []int, seed int64, jsonPath string) {
+	fmt.Println("# Replication: hit availability vs replication factor under membership storms")
+	report := replicationReport{N: n, Docs: docs, Ks: ks, Seed: seed}
+	fmt.Println("scenario,n,k,docs,hot_docs,min_hot_avail,final_hot_avail,final_hit_avail,final_avail,mean_hit_avail,lost_docs,lost_hot_docs,repairs")
+	for _, spec := range gossipsim.ReplicationScenarios(n) {
+		for _, k := range ks {
+			r := gossipsim.Replication(gossipsim.STORM, spec, docs, k, seed)
+			report.Runs = append(report.Runs, r)
+			fmt.Printf("%s,%d,%d,%d,%d,%.4f,%.4f,%.4f,%.4f,%.4f,%d,%d,%d\n",
+				r.Name, r.N, r.K, r.Docs, r.HotDocs,
+				r.MinHotAvailability, r.FinalHotAvailability,
+				r.FinalHitAvailability, r.FinalAvailability,
+				r.MeanHitAvailability, r.LostDocs, r.LostHotDocs, r.Repairs)
+		}
 	}
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(report, "", "  ")

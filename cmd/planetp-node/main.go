@@ -42,6 +42,10 @@
 //	-filter-cache N   byte budget for resident peer Bloom filters in the
 //	                  query engine's two-tier probe cache (0 = 64 MiB
 //	                  default, negative = minimal working set)
+//	-replicas K       replicate hot documents to K peers total (owner +
+//	                  K-1 ring successors); 0 or 1 disables replication
+//	-hoard-budget N   byte budget for hoarded replicas (0 = 64 MiB
+//	                  default); least-popular replicas are evicted first
 //
 // Shell commands (omit -headless):
 //
@@ -103,6 +107,8 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 256, "concurrent API requests admitted before shedding with 429")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "SIGTERM wait for in-flight API requests")
 	filterCache := flag.Int64("filter-cache", 0, "byte budget for resident peer Bloom filters in the query engine (0 = 64 MiB default, negative = minimal working set)")
+	replicas := flag.Int("replicas", 0, "replicate hot documents to this many peers total (0 or 1 = off)")
+	hoardBudget := flag.Int64("hoard-budget", 0, "byte budget for hoarded replicas (0 = 64 MiB default)")
 	flag.Parse()
 
 	var snapshot []byte
@@ -144,6 +150,8 @@ func main() {
 		Restore:           snapshot,
 		DataDir:           *data,
 		FilterCacheBudget: *filterCache,
+		Replicas:          *replicas,
+		HoardBudget:       *hoardBudget,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

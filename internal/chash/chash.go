@@ -10,6 +10,7 @@ import (
 	"crypto/sha1"
 	"encoding/binary"
 	"sort"
+	"strconv"
 	"sync"
 )
 
@@ -27,6 +28,16 @@ func Hash(key string) uint32 {
 func IDForMember(name string) uint32 {
 	sum := sha1.Sum([]byte("broker:" + name))
 	return binary.BigEndian.Uint32(sum[4:8]) % MaxID
+}
+
+// IDForPeer derives a ring ID from a numeric peer id. The id is rendered
+// in decimal — the canonical formatting every layer (brokerage, replica
+// placement, the simulators) must share so they compute the same ring. A
+// string(rune(id)) conversion here would collapse every id ≥ 0xD800 to
+// U+FFFD (all such peers landing on ONE ring point) and alias distinct
+// ids mapping to the same code point; see the collision regression test.
+func IDForPeer(id int32) uint32 {
+	return IDForMember(strconv.Itoa(int(id)) + "#planetp")
 }
 
 // Ring is a thread-safe consistent-hashing ring mapping IDs to opaque

@@ -2,6 +2,7 @@ package chash
 
 import (
 	"fmt"
+	"strconv"
 	"testing"
 	"testing/quick"
 )
@@ -19,6 +20,34 @@ func TestHashStableAndInRange(t *testing.T) {
 		}
 		if IDForMember(k) >= MaxID {
 			t.Fatalf("IDForMember(%q) out of range", k)
+		}
+	}
+}
+
+// Regression: ring keys for numeric peer ids must be derived from the
+// DECIMAL rendering of the id, never string(rune(id)). The rune
+// conversion collapses every id in the surrogate range and beyond
+// (≥ 0xD800) to U+FFFD — all such peers would land on one ring point —
+// and aliases any two ids mapping to the same code point.
+func TestIDForPeerNoSurrogateCollisions(t *testing.T) {
+	ids := []int32{0xD7FF, 0xD800, 0xD801, 0xDBFF, 0xDC00, 0xDFFF, 0xE000, 0xFFFD, 0x10FFFF, 0x110000}
+	seen := make(map[uint32]int32, len(ids))
+	for _, id := range ids {
+		rid := IDForPeer(id)
+		if rid >= MaxID {
+			t.Fatalf("IDForPeer(%#x) = %d out of range", id, rid)
+		}
+		if prev, dup := seen[rid]; dup {
+			t.Fatalf("IDForPeer collision: ids %#x and %#x both map to ring id %d", prev, id, rid)
+		}
+		seen[rid] = id
+	}
+	// The derivation is pinned to the decimal rendering: every layer
+	// (core brokerage, replica placement, the simulators) computes the
+	// same ring from the same peer ids.
+	for _, id := range ids {
+		if IDForPeer(id) != IDForMember(strconv.Itoa(int(id))+"#planetp") {
+			t.Fatalf("IDForPeer(%d) diverges from the canonical decimal derivation", id)
 		}
 	}
 }

@@ -194,6 +194,12 @@ func (p *Peer) maybeCompact() {
 // the next start replays no WAL (best-effort: a failure here still
 // leaves the synced WAL to recover from).
 func (p *Peer) finalSnapshot() {
+	if p.repStore != nil {
+		if data, err := p.replicaSnapshotSource(); err == nil {
+			p.repStore.SaveSnapshot(data)
+		}
+		p.repStore.Close()
+	}
 	if p.st == nil {
 		return
 	}

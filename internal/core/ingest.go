@@ -153,6 +153,16 @@ func (p *Peer) PublishBatch(xmls []string) ([]*doc.Document, error) {
 			releaseFreqs(ad.freqs) // idempotent republish
 			continue
 		}
+		// Publishing a document this peer holds as a replica converts it
+		// to an owned copy: the replica is released (no tombstone — the
+		// content lives on) so the two never double-index.
+		if p.rep != nil && p.rep.Has(ad.doc.ID) {
+			if _, _, err := p.rep.Purge(ad.doc.ID, 0, false); err != nil {
+				releaseFreqs(ad.freqs)
+				continue
+			}
+			p.unIngestReplicaLocked(ad.doc.ID)
+		}
 		fresh = append(fresh, ad)
 	}
 	if len(fresh) == 0 {
@@ -186,6 +196,10 @@ func (p *Peer) PublishBatch(xmls []string) ([]*doc.Document, error) {
 			p.summary.Insert(t)
 			p.counting.Add(t)
 		}
+		// The doc marker lets any peer resolve a bare document id to its
+		// live holders by probing gossiped filters (replica failover).
+		p.summary.Insert(docMarker(ad.doc.ID))
+		p.counting.Add(docMarker(ad.doc.ID))
 	}
 	diff, payload, err := p.summary.Flush()
 	p.mu.Unlock()

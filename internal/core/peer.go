@@ -21,6 +21,7 @@ import (
 	"planetp/internal/gossip"
 	"planetp/internal/index"
 	"planetp/internal/metrics"
+	"planetp/internal/replica"
 	"planetp/internal/search"
 	"planetp/internal/store"
 	"planetp/internal/text"
@@ -96,6 +97,21 @@ type Config struct {
 	// keeps only a minimal single-probe working set (for memory-starved
 	// deployments). See metrics core_filter_cache_*.
 	FilterCacheBudget int64
+	// Replicas is the replication factor k for hot documents: the
+	// community-wide copy target, origin included (the hottest document
+	// gets k-1 replicas placed on its ring successors). 0 or 1 disables
+	// replication — hits die with their owner, the paper's baseline.
+	Replicas int
+	// HoardBudget bounds the excess-capacity bytes this peer donates to
+	// replica bodies (default 64 MiB). Adoption past the budget evicts
+	// the least popular replicas first.
+	HoardBudget int64
+	// HoardInterval paces the hoarding loop (push hot docs, pull hot
+	// docs, GC cooled replicas). 0 defaults to twice the gossip interval.
+	HoardInterval time.Duration
+	// HoardHalfLife is the popularity decay half-life (default 10
+	// minutes; tests shrink it).
+	HoardHalfLife time.Duration
 }
 
 // Peer is a live PlanetP community member.
@@ -131,6 +147,15 @@ type Peer struct {
 	st        *store.Store
 	recovery  RecoverySummary
 	replaying bool
+
+	// Replication state: the replica manager is always constructed (it
+	// also carries the popularity signal); repStore is its durable store
+	// (nil without DataDir); hoardDone closes when the hoarding loop
+	// exits.
+	rep       *replica.Manager
+	repStore  *store.Store
+	hoardDone chan struct{}
+	hoarding  bool
 }
 
 // remoteWatch is a brokerage watch registered by another peer.
@@ -162,9 +187,10 @@ func NewPeer(cfg Config) (*Peer, error) {
 		docOf:    make(map[string]index.DocID),
 		filter:   bloom.Default(),
 		counting: bloom.DefaultCounting(),
-		reg:      cfg.Metrics,
-		stopCh:   make(chan struct{}),
-		loopDone: make(chan struct{}),
+		reg:       cfg.Metrics,
+		stopCh:    make(chan struct{}),
+		loopDone:  make(chan struct{}),
+		hoardDone: make(chan struct{}),
 	}
 	p.summary = bloom.NewSummary(p.filter)
 	p.view = &dirView{p: p, cache: filtercache.New(dirSource{p.dir}, filtercache.Config{
@@ -257,6 +283,13 @@ func NewPeer(cfg Config) (*Peer, error) {
 		}
 		p.st.SetSnapshotSource(p.snapshotSource)
 	}
+	// Replication mounts after the main store's recovery (restored own
+	// documents must win any own-doc-vs-replica conflict) and before the
+	// transport serves (an inbound ReplicaPut must find the manager).
+	if err := p.setupReplica(); err != nil {
+		p.closeOnInitErr(tp)
+		return nil, err
+	}
 	tp.StartAccepting()
 	return p, nil
 }
@@ -267,6 +300,9 @@ func (p *Peer) closeOnInitErr(tp *transport.Transport) {
 	tp.Close()
 	if p.st != nil {
 		p.st.Close()
+	}
+	if p.repStore != nil {
+		p.repStore.Close()
 	}
 }
 
@@ -297,8 +333,13 @@ func (p *Peer) Start() {
 		return
 	}
 	p.started = true
+	hoard := p.rep != nil && p.rep.Factor() > 1
+	p.hoarding = hoard
 	p.mu.Unlock()
 	go p.gossipLoop()
+	if hoard {
+		go p.hoardLoop()
+	}
 }
 
 // Stop shuts the peer down.
@@ -310,10 +351,14 @@ func (p *Peer) Stop() {
 	}
 	p.closed = true
 	started := p.started
+	hoarding := p.hoarding
 	p.mu.Unlock()
 	close(p.stopCh)
 	if started {
 		<-p.loopDone
+	}
+	if hoarding {
+		<-p.hoardDone
 	}
 	// Durable peers fold their full state into a final snapshot so the
 	// next start replays nothing; the synced WAL covers a failure here.
@@ -468,9 +513,13 @@ func (p *Peer) Remove(docID string) bool {
 		}
 		p.index.RemoveDocument(id)
 		delete(p.docOf, docID)
+		p.counting.Remove(docMarker(docID))
 	}
 	p.mu.Unlock()
 	p.maybeCompact()
+	// Push death certificates to the replica placement so live holders
+	// purge (and tombstone) the content instead of serving it forever.
+	p.broadcastPurge(docID)
 	return true
 }
 
@@ -631,14 +680,23 @@ func (p *Peer) PostPersistentQuery(query string, fn func(search.DocResult)) func
 	return cancel
 }
 
-// FetchDocument retrieves a document body from whichever peer holds it.
+// FetchDocument retrieves a document body from a specific peer (a
+// search result names its holder). The local path also answers from the
+// replica set — a replica-held hit carries Peer == this peer's id. For
+// holder-agnostic fetches with failover, use ResolveDocument.
 func (p *Peer) FetchDocument(owner directory.PeerID, key string) (string, error) {
 	if owner == p.id {
-		d, err := p.store.Get(key)
-		if err != nil {
-			return "", err
+		if d, err := p.store.Get(key); err == nil {
+			p.recordHit(key)
+			return d.Raw, nil
 		}
-		return d.Raw, nil
+		if p.rep != nil {
+			if e, ok := p.rep.Get(key); ok {
+				p.recordHit(key)
+				return e.XML, nil
+			}
+		}
+		return "", fmt.Errorf("%w: %s", doc.ErrNotFound, key)
 	}
 	return p.tp.GetDoc(owner, key)
 }

@@ -1,14 +1,13 @@
 package core
 
 import (
-	"strconv"
-
 	"planetp/internal/bloom"
 	"planetp/internal/broker"
 	"planetp/internal/chash"
 	"planetp/internal/directory"
 	"planetp/internal/filtercache"
 	"planetp/internal/gossip"
+	"planetp/internal/replica"
 	"planetp/internal/search"
 	"planetp/internal/transport"
 	"time"
@@ -115,16 +114,15 @@ func (p *Peer) brokerRing() *chash.Ring[directory.PeerID] {
 	return ring
 }
 
-// brokerID derives a ring id from a peer id. The id is rendered in
-// decimal: the previous string(rune(id)) conversion collapsed every id ≥
-// 0xD800 to U+FFFD (all such peers landed on ONE ring point) and aliased
-// distinct ids mapping to the same code point. Fixing the rendering is a
-// one-time ring migration — every peer's ring position moves — which the
-// brokerage absorbs by design: ring churn never migrates data, snippets
-// are soft-state republished on their discard interval, and all peers
-// recompute the same new ring locally (Section 4).
+// brokerID derives a ring id from a peer id via the canonical decimal
+// derivation, now owned by chash.IDForPeer so the replica placement and
+// the simulators compute the identical ring. (The previous
+// string(rune(id)) conversion collapsed every id ≥ 0xD800 to U+FFFD —
+// all such peers landed on ONE ring point — and aliased distinct ids
+// mapping to the same code point; the chash package carries the
+// regression test.)
 func brokerID(id directory.PeerID) uint32 {
-	return chash.IDForMember(strconv.Itoa(int(id)) + "#planetp")
+	return chash.IDForPeer(int32(id))
 }
 
 // brokerPublish routes a snippet's keys to their owning brokers.
@@ -282,13 +280,47 @@ func (h *handler) HandleProxySearch(terms []string, k int) []search.ScoredDoc {
 	return docs
 }
 
-// HandleGetDoc implements transport.Handler.
+// HandleGetDoc implements transport.Handler: answer from the own store
+// or the replica set, feeding the popularity signal either way (a
+// replica serving fetches is exactly as hot as the original).
 func (h *handler) HandleGetDoc(key string) (string, bool) {
-	d, err := (*Peer)(h).store.Get(key)
-	if err != nil {
-		return "", false
+	p := (*Peer)(h)
+	if d, err := p.store.Get(key); err == nil {
+		p.recordHit(key)
+		return d.Raw, true
 	}
-	return d.Raw, true
+	if p.rep != nil {
+		if e, ok := p.rep.Get(key); ok {
+			p.recordHit(key)
+			return e.XML, true
+		}
+	}
+	return "", false
+}
+
+// HandleReplicaPut implements transport.Handler: the origin (or a
+// hoarding peer) pushed a hot document here for safekeeping. The seed
+// score is the adoption threshold — hot enough to survive until it
+// serves its first fetch.
+func (h *handler) HandleReplicaPut(key, xml string, origin directory.PeerID, epoch uint32) {
+	p := (*Peer)(h)
+	if p.rep == nil {
+		return
+	}
+	p.adoptReplica(replica.Entry{Key: key, Origin: int32(origin), Epoch: epoch, XML: xml}, p.rep.HotScore())
+}
+
+// HandleReplicaPurge implements transport.Handler: the origin removed
+// the document at epoch; drop the replica and record the death
+// certificate so no later exchange resurrects it.
+func (h *handler) HandleReplicaPurge(key string, origin directory.PeerID, epoch uint32) {
+	(*Peer)(h).purgeReplica(key, epoch, true)
+}
+
+// HandleHotDocs implements transport.Handler: serve this peer's hottest
+// held documents for a hoarding pull.
+func (h *handler) HandleHotDocs(max int) []replica.HotDoc {
+	return (*Peer)(h).hotDocs(max)
 }
 
 // HandlePeerExchange implements transport.Handler: serve a bounded random

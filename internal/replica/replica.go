@@ -1,0 +1,594 @@
+// Package replica implements PlanetP's content replication and hoarding
+// subsystem: popularity-driven replication of hot documents to k peers
+// chosen via the brokerage ring, so search hits stay alive when the
+// publishing peer churns out. The paper's community is search-only — a
+// hit whose owner is offline is a dead link — and explicitly punts
+// availability to replication/hoarding; the Jacobs/Harwood
+// popularity-based namespace work supplies the recipe reproduced here:
+//
+//   - Popularity. Every served fetch feeds an exponentially decayed
+//     counter (Popularity). A document is hot once its decayed score
+//     reaches HotScore.
+//
+//   - Target. The replication target grows with popularity and is capped
+//     by the configured factor: replicas(score) = min(k-1,
+//     floor(score/HotScore)). Cold documents get no replicas; the
+//     hottest get k-1 beyond the origin.
+//
+//   - Budget. Replica bodies are excess-capacity storage, bounded by a
+//     byte budget. Adopting past the budget evicts the least popular
+//     replicas first (and refuses the adoption if it alone exceeds the
+//     budget).
+//
+//   - Durability. Replicas ride the same WAL + snapshot machinery as the
+//     peer's own documents (a second internal/store instance): an
+//     adopted replica survives crash/restart, and a purged one can never
+//     resurrect from a torn log.
+//
+//   - Tombstones. Purging a replica because its origin removed the
+//     document (or a higher origin incarnation superseded it) records
+//     the origin epoch; re-adoption at that epoch or below is refused,
+//     so anti-entropy gossip cannot resurrect removed content.
+//
+// The Manager holds the local replica set and policy; internal/core owns
+// the wiring (ring placement, hoard pulls, Bloom announcement, serving).
+package replica
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"planetp/internal/metrics"
+	"planetp/internal/store"
+)
+
+// Entry is one locally held replica.
+type Entry struct {
+	// Key is the document id (content hash).
+	Key string
+	// Origin is the publishing peer's community id.
+	Origin int32
+	// Epoch is the origin incarnation the content was obtained from (or
+	// last validated against). A directory record of the origin at a
+	// higher epoch means the content may be superseded.
+	Epoch uint32
+	// XML is the document body.
+	XML string
+}
+
+// HotDoc advertises one hot document in a hoard exchange: enough for a
+// ring-responsible peer to decide whether to pull a copy.
+type HotDoc struct {
+	Key    string
+	Origin int32
+	Epoch  uint32
+	Score  float64
+}
+
+// Config tunes a Manager.
+type Config struct {
+	// Factor is the replication factor k: the community-wide copy target
+	// for the hottest documents, origin included (so at most k-1
+	// replicas are placed). 0 or 1 disables replication.
+	Factor int
+	// Budget bounds resident replica-body bytes (default 64 MiB).
+	Budget int64
+	// HotScore is the decayed-popularity threshold for the first replica
+	// (default 2).
+	HotScore float64
+	// HalfLife is the popularity decay half-life (default 10 minutes).
+	HalfLife time.Duration
+	// Now is the clock (required; core passes the transport's monotonic
+	// clock, tests a fake).
+	Now func() time.Duration
+	// Metrics receives replica_* instruments (nil = none).
+	Metrics *metrics.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Budget <= 0 {
+		c.Budget = 64 << 20
+	}
+	if c.HotScore <= 0 {
+		c.HotScore = 2
+	}
+	if c.Now == nil {
+		c.Now = func() time.Duration { return 0 }
+	}
+	return c
+}
+
+// ErrOverBudget rejects an adoption whose body alone exceeds the budget.
+var ErrOverBudget = errors.New("replica: document exceeds hoard budget")
+
+// Manager is one peer's replica set + popularity state. Thread-safe.
+type Manager struct {
+	cfg Config
+
+	mu      sync.Mutex
+	pop     *Popularity
+	entries map[string]Entry
+	bytes   int64
+	// tombs records purged keys by the origin epoch they were purged
+	// under; adoption at or below that epoch is refused forever (the
+	// death certificate of the replica layer).
+	tombs map[string]uint32
+	st    *store.Store // nil = memory-only
+
+	mDocs, mBytes             *metrics.Gauge
+	mAdopts, mEvicts, mPurges *metrics.Counter
+	mHits                     *metrics.Counter
+}
+
+// NewManager builds a Manager (memory-only until AttachStore).
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:     cfg,
+		pop:     NewPopularity(cfg.HalfLife),
+		entries: make(map[string]Entry),
+		tombs:   make(map[string]uint32),
+	}
+	if r := cfg.Metrics; r != nil {
+		m.mDocs = r.Gauge("replica_docs")
+		m.mBytes = r.Gauge("replica_resident_bytes")
+		m.mAdopts = r.Counter("replica_adopts_total")
+		m.mEvicts = r.Counter("replica_evictions_total")
+		m.mPurges = r.Counter("replica_purges_total")
+		m.mHits = r.Counter("replica_hits_total")
+	}
+	return m
+}
+
+// Factor returns the configured replication factor.
+func (m *Manager) Factor() int { return m.cfg.Factor }
+
+// HotScore returns the replication popularity threshold.
+func (m *Manager) HotScore() float64 { return m.cfg.HotScore }
+
+// AttachStore mounts the durable store the manager write-aheads replica
+// mutations to. Call before any Put/Purge (core attaches during peer
+// construction, before the transport serves).
+func (m *Manager) AttachStore(st *store.Store) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.st = st
+}
+
+// --- popularity ---
+
+// Hit records one served fetch of key (own document or replica).
+func (m *Manager) Hit(key string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pop.Hit(key, m.cfg.Now())
+	if m.mHits != nil {
+		m.mHits.Inc()
+	}
+}
+
+// Score returns key's decayed popularity.
+func (m *Manager) Score(key string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pop.Score(key, m.cfg.Now())
+}
+
+// HotKeys returns the keys at or above the replication threshold, most
+// popular first, with their scores.
+func (m *Manager) HotKeys() ([]string, []float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.cfg.Now()
+	keys := m.pop.Above(m.cfg.HotScore, now)
+	scores := make([]float64, len(keys))
+	for i, k := range keys {
+		scores[i] = m.pop.Score(k, now)
+	}
+	return keys, scores
+}
+
+// TargetReplicas computes the replication target for a popularity score:
+// the number of replicas wanted beyond the origin, growing with
+// popularity and capped at factor-1 (the popularity × excess-capacity
+// computation of the Jacobs/Harwood scheme, with the budget enforced at
+// adoption time).
+func (m *Manager) TargetReplicas(score float64) int {
+	if m.cfg.Factor <= 1 || score < m.cfg.HotScore {
+		return 0
+	}
+	t := int(score / m.cfg.HotScore)
+	if max := m.cfg.Factor - 1; t > max {
+		t = max
+	}
+	return t
+}
+
+// ReleaseScore is the GC threshold: a held replica whose popularity
+// decays below this (half the adoption threshold — hysteresis) is
+// dropped.
+func (m *Manager) ReleaseScore() float64 { return m.cfg.HotScore / 2 }
+
+// --- replica set ---
+
+// Get returns the held replica for key.
+func (m *Manager) Get(key string) (Entry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[key]
+	return e, ok
+}
+
+// Has reports whether key is held.
+func (m *Manager) Has(key string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.entries[key]
+	return ok
+}
+
+// Len returns the held replica count.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// Bytes returns the resident replica-body bytes.
+func (m *Manager) Bytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytes
+}
+
+// Entries returns the held replicas sorted by key (a copy).
+func (m *Manager) Entries() []Entry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.entriesLocked()
+}
+
+func (m *Manager) entriesLocked() []Entry {
+	out := make([]Entry, 0, len(m.entries))
+	for _, e := range m.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Accepts reports whether an offered replica would be adopted: not
+// already held (at that epoch or newer) and not tombstoned at or above
+// the offered epoch.
+func (m *Manager) Accepts(key string, epoch uint32) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if te, dead := m.tombs[key]; dead && epoch <= te {
+		return false
+	}
+	if held, ok := m.entries[key]; ok && epoch <= held.Epoch {
+		return false
+	}
+	return true
+}
+
+// Put adopts a replica: the mutation (including any budget evictions) is
+// write-ahead logged as one durable batch, then applied. seedScore seeds
+// the local popularity counter so a fresh adoption is not immediately
+// GC-eligible. It returns the entries evicted to make room. Adoption is
+// refused (ErrOverBudget) when the body alone exceeds the budget, and is
+// a no-op when Accepts would be false.
+func (m *Manager) Put(e Entry, seedScore float64) (evicted []Entry, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if te, dead := m.tombs[e.Key]; dead && e.Epoch <= te {
+		return nil, nil
+	}
+	if held, ok := m.entries[e.Key]; ok && e.Epoch <= held.Epoch {
+		return nil, nil
+	}
+	size := int64(len(e.XML))
+	if size > m.cfg.Budget {
+		return nil, ErrOverBudget
+	}
+	// Choose evictions: least popular first (ties by key), never the
+	// incoming document, until the body fits.
+	prior := int64(0)
+	if held, ok := m.entries[e.Key]; ok {
+		prior = int64(len(held.XML))
+	}
+	need := m.bytes - prior + size - m.cfg.Budget
+	if need > 0 {
+		now := m.cfg.Now()
+		cands := m.entriesLocked()
+		sort.SliceStable(cands, func(i, j int) bool {
+			si, sj := m.pop.Score(cands[i].Key, now), m.pop.Score(cands[j].Key, now)
+			if si != sj {
+				return si < sj
+			}
+			return cands[i].Key < cands[j].Key
+		})
+		for _, c := range cands {
+			if need <= 0 {
+				break
+			}
+			if c.Key == e.Key {
+				continue
+			}
+			evicted = append(evicted, c)
+			need -= int64(len(c.XML))
+		}
+		if need > 0 {
+			return nil, ErrOverBudget
+		}
+	}
+	// Write-ahead: evictions then the adoption, one group-committed
+	// batch. A failed append leaves the replica set unchanged.
+	ops := make([]store.Op, 0, len(evicted)+1)
+	for _, ev := range evicted {
+		ops = append(ops, encodeRemoveOp(ev.Key, ev.Epoch, false))
+	}
+	ops = append(ops, encodePutOp(e))
+	if err := m.logBatch(ops); err != nil {
+		return nil, err
+	}
+	for _, ev := range evicted {
+		m.dropLocked(ev.Key)
+		if m.mEvicts != nil {
+			m.mEvicts.Inc()
+		}
+	}
+	m.insertLocked(e)
+	m.pop.Seed(e.Key, seedScore, m.cfg.Now())
+	if m.mAdopts != nil {
+		m.mAdopts.Inc()
+	}
+	return evicted, nil
+}
+
+// Purge drops a held replica. With tomb set, the origin epoch is
+// recorded as a death certificate: the purge was caused by removal at
+// the origin (or supersession by a higher incarnation), and the content
+// must never be re-adopted at that epoch or below — not by a hoard pull,
+// not by a replayed announcement. The certificate is WAL-logged with the
+// purge, so a restart cannot resurrect the content either.
+func (m *Manager) Purge(key string, epoch uint32, tomb bool) (Entry, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, held := m.entries[key]
+	if !held && !tomb {
+		return Entry{}, false, nil
+	}
+	if err := m.logBatch([]store.Op{encodeRemoveOp(key, epoch, tomb)}); err != nil {
+		return Entry{}, false, err
+	}
+	if held {
+		m.dropLocked(key)
+		if m.mPurges != nil {
+			m.mPurges.Inc()
+		}
+	}
+	if tomb {
+		if te, ok := m.tombs[key]; !ok || epoch > te {
+			m.tombs[key] = epoch
+		}
+	}
+	return e, held, nil
+}
+
+// ReleaseCandidates returns held replicas whose popularity has decayed
+// below the release threshold (the popularity-decay GC rule).
+func (m *Manager) ReleaseCandidates() []Entry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.cfg.Now()
+	var out []Entry
+	for _, e := range m.entriesLocked() {
+		if m.pop.Score(e.Key, now) < m.cfg.HotScore/2 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Tombstoned reports whether key carries a death certificate at or above
+// epoch.
+func (m *Manager) Tombstoned(key string, epoch uint32) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	te, ok := m.tombs[key]
+	return ok && epoch <= te
+}
+
+// insertLocked/dropLocked maintain the map and byte accounting.
+func (m *Manager) insertLocked(e Entry) {
+	if held, ok := m.entries[e.Key]; ok {
+		m.bytes -= int64(len(held.XML))
+	}
+	m.entries[e.Key] = e
+	m.bytes += int64(len(e.XML))
+	m.gauge()
+}
+
+func (m *Manager) dropLocked(key string) {
+	if held, ok := m.entries[key]; ok {
+		m.bytes -= int64(len(held.XML))
+		delete(m.entries, key)
+	}
+	m.gauge()
+}
+
+func (m *Manager) gauge() {
+	if m.mDocs != nil {
+		m.mDocs.Set(int64(len(m.entries)))
+		m.mBytes.Set(m.bytes)
+	}
+}
+
+func (m *Manager) logBatch(ops []store.Op) error {
+	if m.st == nil {
+		return nil
+	}
+	_, err := m.st.AppendBatch(ops)
+	return err
+}
+
+// --- WAL op encoding ---
+//
+// The replica store reuses the document store's two op kinds (the WAL
+// record format admits no others) with a versioned header line inside
+// Data:
+//
+//	OpPublish: "r1 <origin> <epoch> <key>\n<xml>"
+//	OpRemove:  "r1 <epoch> <tomb> <key>"
+
+func encodePutOp(e Entry) store.Op {
+	return store.Op{
+		Kind: store.OpPublish,
+		Data: "r1 " + strconv.FormatInt(int64(e.Origin), 10) + " " +
+			strconv.FormatUint(uint64(e.Epoch), 10) + " " + e.Key + "\n" + e.XML,
+	}
+}
+
+func encodeRemoveOp(key string, epoch uint32, tomb bool) store.Op {
+	t := "0"
+	if tomb {
+		t = "1"
+	}
+	return store.Op{
+		Kind: store.OpRemove,
+		Data: "r1 " + strconv.FormatUint(uint64(epoch), 10) + " " + t + " " + key,
+	}
+}
+
+func decodePutOp(data string) (Entry, error) {
+	head, xml, ok := strings.Cut(data, "\n")
+	if !ok {
+		return Entry{}, errors.New("replica: publish op missing body")
+	}
+	f := strings.Fields(head)
+	if len(f) != 4 || f[0] != "r1" {
+		return Entry{}, fmt.Errorf("replica: bad publish op header %q", head)
+	}
+	origin, err := strconv.ParseInt(f[1], 10, 32)
+	if err != nil {
+		return Entry{}, fmt.Errorf("replica: bad origin: %w", err)
+	}
+	epoch, err := strconv.ParseUint(f[2], 10, 32)
+	if err != nil {
+		return Entry{}, fmt.Errorf("replica: bad epoch: %w", err)
+	}
+	return Entry{Key: f[3], Origin: int32(origin), Epoch: uint32(epoch), XML: xml}, nil
+}
+
+func decodeRemoveOp(data string) (key string, epoch uint32, tomb bool, err error) {
+	f := strings.Fields(data)
+	if len(f) != 4 || f[0] != "r1" {
+		return "", 0, false, fmt.Errorf("replica: bad remove op %q", data)
+	}
+	e, err := strconv.ParseUint(f[1], 10, 32)
+	if err != nil {
+		return "", 0, false, fmt.Errorf("replica: bad epoch: %w", err)
+	}
+	return f[3], uint32(e), f[2] == "1", nil
+}
+
+// --- snapshot + recovery ---
+
+// snapshotState is the gob-encoded snapshot payload.
+type snapshotState struct {
+	Entries []Entry
+	Tombs   map[string]uint32
+}
+
+// SnapshotPayload serializes the replica set + tombstones for the
+// store's snapshot/compaction protocol.
+func (m *Manager) SnapshotPayload() ([]byte, error) {
+	m.mu.Lock()
+	st := snapshotState{Entries: m.entriesLocked(), Tombs: make(map[string]uint32, len(m.tombs))}
+	for k, v := range m.tombs {
+		st.Tombs[k] = v
+	}
+	m.mu.Unlock()
+	return encodeSnapshotState(st)
+}
+
+// SnapshotPayloadLSN captures the snapshot payload and the store's fold
+// LSN atomically under the manager lock — the same lock every WAL append
+// holds — so an adoption racing compaction is either in the payload or
+// above the fold position, never stamped folded without being included.
+func (m *Manager) SnapshotPayloadLSN() ([]byte, uint64, error) {
+	m.mu.Lock()
+	st := snapshotState{Entries: m.entriesLocked(), Tombs: make(map[string]uint32, len(m.tombs))}
+	for k, v := range m.tombs {
+		st.Tombs[k] = v
+	}
+	var lsn uint64
+	if m.st != nil {
+		lsn = m.st.LastLSN()
+	}
+	m.mu.Unlock()
+	payload, err := encodeSnapshotState(st)
+	return payload, lsn, err
+}
+
+func encodeSnapshotState(st snapshotState) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Replay rebuilds the replica set from a store recovery (snapshot +
+// WAL suffix, in order). It returns the restored entries so the caller
+// can re-announce exactly what is durable — the fsynced prefix, never a
+// torn suffix (the store already truncated that).
+func (m *Manager) Replay(rec store.Recovery) ([]Entry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if rec.Snapshot != nil {
+		var st snapshotState
+		if err := gob.NewDecoder(bytes.NewReader(rec.Snapshot)).Decode(&st); err != nil {
+			return nil, fmt.Errorf("replica: snapshot: %w", err)
+		}
+		for _, e := range st.Entries {
+			m.insertLocked(e)
+		}
+		for k, v := range st.Tombs {
+			m.tombs[k] = v
+		}
+	}
+	for _, op := range rec.Ops {
+		switch op.Kind {
+		case store.OpPublish:
+			e, err := decodePutOp(op.Data)
+			if err != nil {
+				return nil, fmt.Errorf("replica: replaying op: %w", err)
+			}
+			if te, dead := m.tombs[e.Key]; dead && e.Epoch <= te {
+				continue
+			}
+			m.insertLocked(e)
+		case store.OpRemove:
+			key, epoch, tomb, err := decodeRemoveOp(op.Data)
+			if err != nil {
+				return nil, fmt.Errorf("replica: replaying op: %w", err)
+			}
+			m.dropLocked(key)
+			if tomb {
+				if te, ok := m.tombs[key]; !ok || epoch > te {
+					m.tombs[key] = epoch
+				}
+			}
+		}
+	}
+	return m.entriesLocked(), nil
+}

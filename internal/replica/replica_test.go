@@ -1,0 +1,254 @@
+package replica
+
+import (
+	"testing"
+	"time"
+
+	"planetp/internal/store"
+)
+
+// fakeClock is a settable Now() source.
+type fakeClock struct{ t time.Duration }
+
+func (c *fakeClock) now() time.Duration { return c.t }
+
+func newTestManager(t *testing.T, clk *fakeClock, mutate func(*Config)) *Manager {
+	t.Helper()
+	cfg := Config{Factor: 3, Budget: 1 << 20, HotScore: 2, HalfLife: time.Minute, Now: clk.now}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return NewManager(cfg)
+}
+
+func TestPopularityDecayDeterministic(t *testing.T) {
+	clk := &fakeClock{}
+	p := NewPopularity(time.Minute)
+	p.Hit("a", 0)
+	p.Hit("a", 0)
+	if s := p.Score("a", 0); s != 2 {
+		t.Fatalf("score after 2 hits = %v", s)
+	}
+	// One half-life halves the mass.
+	if s := p.Score("a", time.Minute); s < 0.99 || s > 1.01 {
+		t.Fatalf("score after one half-life = %v", s)
+	}
+	// Two managers fed the same schedule agree exactly.
+	q := NewPopularity(time.Minute)
+	q.Hit("a", 0)
+	q.Hit("a", 0)
+	if p.Score("a", 5*time.Minute) != q.Score("a", 5*time.Minute) {
+		t.Fatal("identical schedules diverged")
+	}
+	_ = clk
+}
+
+func TestTargetReplicasGrowsWithPopularityAndCaps(t *testing.T) {
+	m := newTestManager(t, &fakeClock{}, nil)
+	cases := []struct {
+		score float64
+		want  int
+	}{
+		{0, 0}, {1.9, 0}, {2, 1}, {3.9, 1}, {4, 2}, {100, 2},
+	}
+	for _, c := range cases {
+		if got := m.TargetReplicas(c.score); got != c.want {
+			t.Errorf("TargetReplicas(%v) = %d want %d", c.score, got, c.want)
+		}
+	}
+	// Factor 1 = no replication at any popularity.
+	m1 := newTestManager(t, &fakeClock{}, func(c *Config) { c.Factor = 1 })
+	if m1.TargetReplicas(100) != 0 {
+		t.Fatal("factor 1 must disable replication")
+	}
+}
+
+func TestPutGetPurgeTombstone(t *testing.T) {
+	clk := &fakeClock{}
+	m := newTestManager(t, clk, nil)
+	e := Entry{Key: "k1", Origin: 3, Epoch: 1, XML: "<doc>hello</doc>"}
+	if _, err := m.Put(e, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := m.Get("k1")
+	if !ok || got != e {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+	if m.Score("k1") < 2 {
+		t.Fatal("adoption did not seed popularity")
+	}
+	// Purge with a death certificate at epoch 2: re-adoption at <= 2 is
+	// refused, at 3 accepted.
+	if _, held, err := m.Purge("k1", 2, true); err != nil || !held {
+		t.Fatalf("Purge = %v, %v", held, err)
+	}
+	if m.Has("k1") {
+		t.Fatal("purged replica still held")
+	}
+	if m.Accepts("k1", 2) {
+		t.Fatal("tombstoned epoch re-accepted")
+	}
+	if _, err := m.Put(Entry{Key: "k1", Origin: 3, Epoch: 2, XML: "x"}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if m.Has("k1") {
+		t.Fatal("tombstoned Put was applied")
+	}
+	if !m.Accepts("k1", 3) {
+		t.Fatal("higher-epoch offer refused")
+	}
+	if _, err := m.Put(Entry{Key: "k1", Origin: 3, Epoch: 3, XML: "x"}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Has("k1") {
+		t.Fatal("higher-epoch Put not applied")
+	}
+}
+
+func TestBudgetEvictsLeastPopular(t *testing.T) {
+	clk := &fakeClock{}
+	m := newTestManager(t, clk, func(c *Config) { c.Budget = 100 })
+	body := make([]byte, 40)
+	for i := range body {
+		body[i] = 'x'
+	}
+	if _, err := m.Put(Entry{Key: "cold", Origin: 1, Epoch: 1, XML: string(body)}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Put(Entry{Key: "hot", Origin: 1, Epoch: 1, XML: string(body)}, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		m.Hit("hot")
+	}
+	// A third 40-byte body exceeds the 100-byte budget; the least
+	// popular replica (cold) must be evicted, not hot.
+	evicted, err := m.Put(Entry{Key: "new", Origin: 2, Epoch: 1, XML: string(body)}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 1 || evicted[0].Key != "cold" {
+		t.Fatalf("evicted = %+v", evicted)
+	}
+	if !m.Has("hot") || !m.Has("new") || m.Has("cold") {
+		t.Fatal("wrong survivor set")
+	}
+	if m.Bytes() > 100 {
+		t.Fatalf("over budget: %d", m.Bytes())
+	}
+	// A single body larger than the whole budget is refused outright.
+	if _, err := m.Put(Entry{Key: "huge", Origin: 2, Epoch: 1, XML: string(make([]byte, 101))}, 2); err != ErrOverBudget {
+		t.Fatalf("oversized Put err = %v", err)
+	}
+}
+
+func TestReleaseCandidatesByDecay(t *testing.T) {
+	clk := &fakeClock{}
+	m := newTestManager(t, clk, func(c *Config) { c.HalfLife = time.Minute })
+	if _, err := m.Put(Entry{Key: "a", Origin: 1, Epoch: 1, XML: "x"}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.ReleaseCandidates()) != 0 {
+		t.Fatal("fresh adoption already GC-eligible")
+	}
+	// After two half-lives the seed score of 2 decays to 0.5 < the
+	// release threshold (HotScore/2 = 1).
+	clk.t = 2 * time.Minute
+	rc := m.ReleaseCandidates()
+	if len(rc) != 1 || rc[0].Key != "a" {
+		t.Fatalf("ReleaseCandidates = %+v", rc)
+	}
+	// A fetch refreshes popularity and rescues it.
+	m.Hit("a")
+	m.Hit("a")
+	if len(m.ReleaseCandidates()) != 0 {
+		t.Fatal("refreshed replica still GC-eligible")
+	}
+}
+
+func TestOpEncodingRoundTrip(t *testing.T) {
+	e := Entry{Key: "abc123", Origin: -7, Epoch: 42, XML: "<doc>\nmulti line\n</doc>"}
+	got, err := decodePutOp(encodePutOp(e).Data)
+	if err != nil || got != e {
+		t.Fatalf("put round trip = %+v, %v", got, err)
+	}
+	key, epoch, tomb, err := decodeRemoveOp(encodeRemoveOp("k", 9, true).Data)
+	if err != nil || key != "k" || epoch != 9 || !tomb {
+		t.Fatalf("remove round trip = %q %d %v %v", key, epoch, tomb, err)
+	}
+	if _, _, tomb, _ := decodeRemoveOp(encodeRemoveOp("k", 9, false).Data); tomb {
+		t.Fatal("tomb flag not preserved")
+	}
+	if _, err := decodePutOp("garbage"); err == nil {
+		t.Fatal("garbage publish op decoded")
+	}
+	if _, _, _, err := decodeRemoveOp("r1 x"); err == nil {
+		t.Fatal("garbage remove op decoded")
+	}
+}
+
+// TestDurableReplayRestoresFsyncedSet drives a manager over a real
+// (in-memory) store through adoptions, a purge-with-tombstone, and a
+// snapshot, then reopens and asserts the replica set and tombstones
+// survive exactly.
+func TestDurableReplayRestoresFsyncedSet(t *testing.T) {
+	clk := &fakeClock{}
+	fs := store.NewMemFS()
+	open := func() (*Manager, *store.Store, []Entry) {
+		st, rec, err := store.Open(store.Options{Dir: "rep", FS: fs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := newTestManager(t, clk, nil)
+		restored, err := m.Replay(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.AttachStore(st)
+		return m, st, restored
+	}
+
+	m, st, restored := open()
+	if len(restored) != 0 {
+		t.Fatalf("fresh store restored %d entries", len(restored))
+	}
+	if _, err := m.Put(Entry{Key: "a", Origin: 1, Epoch: 1, XML: "<a/>"}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Put(Entry{Key: "b", Origin: 2, Epoch: 5, XML: "<b/>"}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Purge("a", 3, true); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	m2, st2, restored := open()
+	if len(restored) != 1 || restored[0].Key != "b" || restored[0].Epoch != 5 {
+		t.Fatalf("restored = %+v", restored)
+	}
+	if !m2.Tombstoned("a", 3) || m2.Tombstoned("a", 4) {
+		t.Fatal("tombstone not restored")
+	}
+	// Snapshot + reopen preserves the same state through the compaction
+	// path.
+	payload, err := m2.SnapshotPayload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.SaveSnapshot(store.SnapshotData{
+		Payload: payload, Epoch: 1, Seq: 1, FoldLSN: st2.LastLSN(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+
+	m3, st3, restored := open()
+	if len(restored) != 1 || restored[0].Key != "b" {
+		t.Fatalf("post-snapshot restored = %+v", restored)
+	}
+	if !m3.Tombstoned("a", 3) {
+		t.Fatal("tombstone lost through snapshot")
+	}
+	st3.Close()
+}

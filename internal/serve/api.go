@@ -270,34 +270,44 @@ func (s *Server) writePublishError(w http.ResponseWriter, err error) {
 	writeError(w, http.StatusInternalServerError, err.Error())
 }
 
-// handleDoc serves GET /v1/doc/{id}?peer=N: the document body from its
-// owning peer (default: this node). Remote owners are contacted over the
-// gossip transport.
+// handleDoc serves GET /v1/doc/{id}: the document body from any live
+// holder. Without ?peer=N the node resolves the holder itself — local
+// store, local replicas, then every peer whose gossiped filter announces
+// the document, ranked by directory liveness with failover — so the
+// fetch succeeds as long as ANY replica is up; 404 means no live holder
+// at all. With ?peer=N the fetch goes to exactly that peer (debugging
+// and tests pin a holder).
 func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	owner := s.peer.ID()
+	var (
+		holder directory.PeerID
+		xml    string
+		err    error
+	)
 	if pv := r.URL.Query().Get("peer"); pv != "" {
-		n, err := strconv.Atoi(pv)
-		if err != nil {
+		n, aerr := strconv.Atoi(pv)
+		if aerr != nil {
 			s.errors.Inc()
 			writeError(w, http.StatusBadRequest, "bad peer id: "+pv)
 			return
 		}
-		owner = directory.PeerID(n)
+		holder = directory.PeerID(n)
+		xml, err = s.peer.FetchDocument(holder, id)
+	} else {
+		xml, holder, err = s.peer.ResolveDocument(id)
 	}
-	xml, err := s.peer.FetchDocument(owner, id)
 	if err != nil {
 		s.errors.Inc()
 		if errors.Is(err, doc.ErrNotFound) {
 			writeError(w, http.StatusNotFound, err.Error())
 			return
 		}
-		// The owner is unreachable or failed us — a gateway-style error,
-		// not this node's.
+		// A holder exists but none were reachable (or the pinned peer
+		// failed us) — a gateway-style error, not this node's.
 		writeError(w, http.StatusBadGateway, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, DocResponse{Peer: int32(owner), ID: id, XML: xml})
+	writeJSON(w, http.StatusOK, DocResponse{Peer: int32(holder), ID: id, XML: xml})
 }
 
 // handlePeers serves GET /v1/peers: the node's directory replica.

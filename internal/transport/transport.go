@@ -24,6 +24,7 @@ import (
 	"planetp/internal/directory"
 	"planetp/internal/gossip"
 	"planetp/internal/metrics"
+	"planetp/internal/replica"
 	"planetp/internal/search"
 )
 
@@ -71,6 +72,18 @@ const (
 	KindPeerExchange
 	KindPeers
 
+	// KindReplicaPut pushes a replica of a hot document to a
+	// ring-responsible peer (one-way, best effort — the hoarding loop
+	// repairs what a lost push misses).
+	KindReplicaPut
+	// KindReplicaPurge tells a replica holder the origin removed (or
+	// superseded) a document (one-way).
+	KindReplicaPurge
+	// KindHotDocs asks a peer for its hottest served documents (the
+	// hoard exchange); answered by KindHotList.
+	KindHotDocs
+	KindHotList
+
 	numKinds
 )
 
@@ -110,6 +123,14 @@ func (k Kind) String() string {
 		return "peer_exchange"
 	case KindPeers:
 		return "peers"
+	case KindReplicaPut:
+		return "replica_put"
+	case KindReplicaPurge:
+		return "replica_purge"
+	case KindHotDocs:
+		return "hot_docs"
+	case KindHotList:
+		return "hot_list"
 	}
 	return "unknown"
 }
@@ -134,6 +155,12 @@ type Envelope struct {
 	Record  *directory.Record
 	Records []directory.Record
 	Err     string
+	// Replica fields (appended for gob stability across versions):
+	// Origin/Epoch identify the publishing incarnation of a pushed or
+	// purged replica; Hot carries a hoard exchange's advertisement.
+	Origin directory.PeerID
+	Epoch  uint32
+	Hot    []replica.HotDoc
 }
 
 // Handler is the application side of the transport (implemented by
@@ -159,6 +186,15 @@ type Handler interface {
 	// HandlePeerExchange returns a random sample of at most max
 	// known-on-line directory records (bootstrap discovery).
 	HandlePeerExchange(max int) []directory.Record
+	// HandleReplicaPut offers this peer a replica of a hot document
+	// published by origin at epoch (best-effort push replication).
+	HandleReplicaPut(key, xml string, origin directory.PeerID, epoch uint32)
+	// HandleReplicaPurge tells this peer the origin removed (or
+	// superseded) a document it may hold a replica of.
+	HandleReplicaPurge(key string, origin directory.PeerID, epoch uint32)
+	// HandleHotDocs returns up to max of this peer's hottest served
+	// documents (the hoard exchange).
+	HandleHotDocs(max int) []replica.HotDoc
 	// SelfRecord returns the peer's current record (bootstrap).
 	SelfRecord() directory.Record
 }
@@ -571,6 +607,14 @@ func (t *Transport) Notify(to directory.PeerID, sn broker.Snippet) error {
 	return t.oneway(to, &Envelope{Kind: KindNotify, From: t.id, Snippet: &sn})
 }
 
+// ErrDocNotFound reports that the remote peer answered the fetch but
+// does not hold the document — a definitive miss (stale filter bit,
+// purged replica), distinct from a transport failure where the peer may
+// well still hold it. Callers resolving replicas failover differently on
+// the two: a miss moves on to the next candidate, an unreachable peer is
+// marked off-line.
+var ErrDocNotFound = errors.New("document not found")
+
 // GetDoc fetches a document body from a peer.
 func (t *Transport) GetDoc(to directory.PeerID, key string) (string, error) {
 	resp, err := t.call(to, &Envelope{Kind: KindGetDoc, From: t.id, Key: key})
@@ -578,9 +622,32 @@ func (t *Transport) GetDoc(to directory.PeerID, key string) (string, error) {
 		return "", err
 	}
 	if !resp.Found {
-		return "", fmt.Errorf("transport: document %s not found on peer %d", key, to)
+		return "", fmt.Errorf("transport: document %s on peer %d: %w", key, to, ErrDocNotFound)
 	}
 	return resp.XML, nil
+}
+
+// ReplicaPut pushes a replica of a hot document to a chosen holder
+// (one-way, best effort: the holder may refuse silently if the epoch is
+// stale or its budget disagrees).
+func (t *Transport) ReplicaPut(to directory.PeerID, key, xml string, origin directory.PeerID, epoch uint32) error {
+	return t.oneway(to, &Envelope{Kind: KindReplicaPut, From: t.id, Key: key, XML: xml, Origin: origin, Epoch: epoch})
+}
+
+// ReplicaPurge tells a holder that the origin removed the document at
+// epoch; the holder drops its replica and records a death certificate.
+func (t *Transport) ReplicaPurge(to directory.PeerID, key string, origin directory.PeerID, epoch uint32) error {
+	return t.oneway(to, &Envelope{Kind: KindReplicaPurge, From: t.id, Key: key, Origin: origin, Epoch: epoch})
+}
+
+// HotDocs asks a peer for its hottest documents (hoarding pull): key,
+// origin, epoch and current popularity score of up to max docs.
+func (t *Transport) HotDocs(to directory.PeerID, max int) ([]replica.HotDoc, error) {
+	resp, err := t.call(to, &Envelope{Kind: KindHotDocs, From: t.id, K: max})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Hot, nil
 }
 
 // ProxySearch asks a better-connected peer to run the whole ranked
@@ -670,6 +737,13 @@ func (t *Transport) serve(conn net.Conn) {
 	case KindPeerExchange:
 		recs := t.handler.HandlePeerExchange(clampExchange(env.K))
 		_ = enc.Encode(&Envelope{Kind: KindPeers, From: t.id, Records: recs})
+	case KindReplicaPut:
+		t.handler.HandleReplicaPut(env.Key, env.XML, env.Origin, env.Epoch)
+	case KindReplicaPurge:
+		t.handler.HandleReplicaPurge(env.Key, env.Origin, env.Epoch)
+	case KindHotDocs:
+		hot := t.handler.HandleHotDocs(clampExchange(env.K))
+		_ = enc.Encode(&Envelope{Kind: KindHotList, From: t.id, Hot: hot})
 	default:
 		_ = enc.Encode(&Envelope{Kind: env.Kind, From: t.id, Err: "unknown kind"})
 	}

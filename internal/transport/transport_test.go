@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"testing"
@@ -10,6 +12,7 @@ import (
 	"planetp/internal/directory"
 	"planetp/internal/gossip"
 	"planetp/internal/metrics"
+	"planetp/internal/replica"
 	"planetp/internal/search"
 )
 
@@ -23,6 +26,9 @@ type recordingHandler struct {
 	docs    map[string]string
 	self    directory.Record
 	sample  []directory.Record // served by HandlePeerExchange
+	reps    []string           // "key@origin:epoch" adopted via HandleReplicaPut
+	purges  []string           // same encoding, via HandleReplicaPurge
+	hot     []replica.HotDoc   // served by HandleHotDocs
 }
 
 func newHandler(id directory.PeerID) *recordingHandler {
@@ -89,6 +95,29 @@ func (h *recordingHandler) HandlePeerExchange(max int) []directory.Record {
 		return h.sample[:max]
 	}
 	return h.sample
+}
+
+func (h *recordingHandler) HandleReplicaPut(key, xml string, origin directory.PeerID, epoch uint32) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.docs[key] = xml
+	h.reps = append(h.reps, fmt.Sprintf("%s@%d:%d", key, origin, epoch))
+}
+
+func (h *recordingHandler) HandleReplicaPurge(key string, origin directory.PeerID, epoch uint32) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.docs, key)
+	h.purges = append(h.purges, fmt.Sprintf("%s@%d:%d", key, origin, epoch))
+}
+
+func (h *recordingHandler) HandleHotDocs(max int) []replica.HotDoc {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.hot) > max {
+		return h.hot[:max]
+	}
+	return h.hot
 }
 
 func (h *recordingHandler) SelfRecord() directory.Record { return h.self }
@@ -244,8 +273,44 @@ func TestGetDoc(t *testing.T) {
 	if err != nil || xml != "<x>body</x>" {
 		t.Fatalf("GetDoc: %q %v", xml, err)
 	}
-	if _, err := ta.GetDoc(1, "missing"); err == nil {
-		t.Fatal("missing doc should error")
+	if _, err := ta.GetDoc(1, "missing"); !errors.Is(err, ErrDocNotFound) {
+		t.Fatalf("missing doc error = %v, want ErrDocNotFound", err)
+	}
+}
+
+func TestReplicaRPCs(t *testing.T) {
+	ta, _, _, hb := pair(t)
+	if err := ta.ReplicaPut(1, "k1", "<x/>", 7, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.ReplicaPurge(1, "k1", 7, 4); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		hb.mu.Lock()
+		reps, purges := len(hb.reps), len(hb.purges)
+		hb.mu.Unlock()
+		if reps == 1 && purges == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica ops not delivered: %d puts %d purges", reps, purges)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	hb.mu.Lock()
+	if hb.reps[0] != "k1@7:3" || hb.purges[0] != "k1@7:4" {
+		t.Fatalf("reps=%v purges=%v", hb.reps, hb.purges)
+	}
+	hb.hot = []replica.HotDoc{{Key: "a", Origin: 7, Epoch: 1, Score: 3.5}, {Key: "b", Origin: 8, Epoch: 2, Score: 1}}
+	hb.mu.Unlock()
+	hot, err := ta.HotDocs(1, 8)
+	if err != nil || len(hot) != 2 || hot[0].Key != "a" || hot[0].Score != 3.5 {
+		t.Fatalf("HotDocs = %+v, %v", hot, err)
+	}
+	if hot, _ := ta.HotDocs(1, 1); len(hot) != 1 {
+		t.Fatalf("max not honored: %+v", hot)
 	}
 }
 

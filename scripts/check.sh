@@ -8,8 +8,10 @@
 #                           # benchmarks to BENCH_ingest.json, serving-tier
 #                           # load test (live 2-node cluster + loadgen) to
 #                           # BENCH_serve.json, churn-storm simulation to
-#                           # BENCH_churn.json, directory memory scaling
-#                           # (10k + 100k peers) to BENCH_directory.json
+#                           # BENCH_churn.json, replication availability
+#                           # simulation to BENCH_replication.json,
+#                           # directory memory scaling (10k + 100k peers)
+#                           # to BENCH_directory.json
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -103,6 +105,100 @@ assembly_smoke() {
 	fi
 }
 
+# replication_smoke DIR: boot 4 nodes with -replicas 3, publish two
+# documents at node 1, heat them with fetches until the hoard loop pushes
+# replicas onto other nodes, kill node 1 outright (SIGKILL — no graceful
+# handoff), and verify GET /v1/doc/{id} on node 0 still answers 200 from
+# a replica.
+replication_smoke() {
+	dir="$1"
+	rm -rf "$dir" && mkdir -p "$dir"
+	go build -o "$dir/planetp-node" ./cmd/planetp-node
+	join="" origin_pid="" i=0
+	while [ "$i" -lt 4 ]; do
+		gport=$((17600 + i)) hport=$((17700 + i))
+		# shellcheck disable=SC2086
+		"$dir/planetp-node" -id "$i" -capacity 16 \
+			-gossip "127.0.0.1:$gport" -listen "127.0.0.1:$hport" \
+			-interval 250ms -replicas 3 -headless $join \
+			>"$dir/n$i.log" 2>&1 &
+		echo $! >>"$dir/pids"
+		if [ "$i" -eq 1 ]; then origin_pid=$!; fi
+		if [ -z "$join" ]; then join="-seeds 127.0.0.1:$gport"; fi
+		i=$((i + 1))
+	done
+	trap 'kill $(cat "'"$dir"'/pids") 2>/dev/null || true' EXIT
+	rsfail() {
+		echo "replication smoke FAILED: $1" >&2
+		tail -n 5 "$dir"/n*.log >&2 || true
+		exit 1
+	}
+	deadline=$(($(date +%s) + 30))
+	until curl -sf "http://127.0.0.1:17700/v1/peers" | grep -q '"online":4'; do
+		[ "$(date +%s)" -lt "$deadline" ] || rsfail "cluster did not form"
+		sleep 0.5
+	done
+	ids=""
+	for word in alpha bravo; do
+		id="$(curl -sf -X POST "http://127.0.0.1:17701/v1/publish" \
+			-d '{"xml":"<doc><title>replication smoke '"$word"'</title><body>hoarded content '"$word"'</body></doc>"}' |
+			sed 's/.*"id":"\([^"]*\)".*/\1/')"
+		[ -n "$id" ] || rsfail "publish of $word returned no id"
+		ids="$ids $id"
+	done
+	# Heat each document through node 0's resolver: every successful fetch
+	# is a popularity hit at the serving holder, and once a document is hot
+	# the next hoard tick replicates it.
+	for id in $ids; do
+		hits=0
+		deadline=$(($(date +%s) + 30))
+		while [ "$hits" -lt 24 ]; do
+			if curl -sf "http://127.0.0.1:17700/v1/doc/$id" >/dev/null; then
+				hits=$((hits + 1))
+			else
+				sleep 0.25
+			fi
+			[ "$(date +%s)" -lt "$deadline" ] || rsfail "doc $id never became fetchable"
+		done
+	done
+	# Wait until some node other than the origin answers a pinned fetch —
+	# i.e. actually holds a replica.
+	for id in $ids; do
+		deadline=$(($(date +%s) + 30))
+		replicated=""
+		while [ -z "$replicated" ]; do
+			for p in 0 2 3; do
+				if curl -sf "http://127.0.0.1:17700/v1/doc/$id?peer=$p" >/dev/null; then
+					replicated=1
+					break
+				fi
+			done
+			if [ -z "$replicated" ]; then
+				[ "$(date +%s)" -lt "$deadline" ] || rsfail "doc $id never replicated off its origin"
+				sleep 0.5
+			fi
+		done
+	done
+	kill -9 "$origin_pid" 2>/dev/null || true
+	# The origin is gone without warning; the hot documents must still
+	# resolve through a surviving replica.
+	for id in $ids; do
+		deadline=$(($(date +%s) + 15))
+		served=""
+		while [ -z "$served" ]; do
+			if curl -sf "http://127.0.0.1:17700/v1/doc/$id" >/dev/null; then
+				served=1
+				break
+			fi
+			[ "$(date +%s)" -lt "$deadline" ] || rsfail "doc $id lost with its origin"
+			sleep 0.5
+		done
+	done
+	kill $(cat "$dir/pids") 2>/dev/null || true
+	wait 2>/dev/null || true
+	trap - EXIT
+}
+
 if [ "${1:-}" = "bench" ]; then
 	BENCHTIME="${BENCHTIME:-0.5s}"
 	echo "== query benchmarks (benchtime ${BENCHTIME}) -> BENCH_query.json"
@@ -120,6 +216,9 @@ if [ "${1:-}" = "bench" ]; then
 	echo "== churn-storm simulation -> BENCH_churn.json"
 	go run ./cmd/gossipsim -exp churn-storm -n "${STORM_N:-32}" -seed 7 \
 		-json "$(pwd)/BENCH_churn.json"
+	echo "== replication availability simulation -> BENCH_replication.json"
+	go run ./cmd/gossipsim -exp replication -n "${STORM_N:-32}" -seed 7 \
+		-json "$(pwd)/BENCH_replication.json"
 	echo "== directory memory scaling -> BENCH_directory.json"
 	go run ./cmd/gossipsim -exp directory-scale \
 		-sizes "${SCALE_SIZES:-10000,100000}" -seed 1 \
@@ -144,7 +243,7 @@ go test -race ./...
 # cycle (already part of the suite above; rerun by name so a regression
 # here is called out explicitly).
 echo "== crash-recovery smoke"
-go test -race -run 'CrashPoint|Durable|RestartUnderFaults' \
+go test -race -run 'CrashPoint|Durable|RestartUnderFaults|ReplicaStoreCrash' \
 	./internal/store/ ./internal/core/ ./internal/gossipsim/
 
 # Churn-storm acceptance suite: flash crowd, mass departure under loss,
@@ -152,7 +251,7 @@ go test -race -run 'CrashPoint|Durable|RestartUnderFaults' \
 # units (already part of the suite above; rerun by name so a regression
 # here is called out explicitly).
 echo "== churn-storm acceptance suite"
-go test -race -run 'Storm|TDead|Tombstone|Discover|PeerExchange|Sanitize|RotateSeeds' \
+go test -race -run 'Storm|TDead|Tombstone|Discover|PeerExchange|Sanitize|RotateSeeds|Replication|LiveReplication|HoardPull' \
 	./internal/gossipsim/ ./internal/gossip/ ./internal/transport/ \
 	./internal/core/ ./internal/directory/
 
@@ -170,6 +269,13 @@ echo "   serve smoke OK"
 echo "== self-assembly smoke (4 nodes, one seed address)"
 assembly_smoke /tmp/planetp-assembly-smoke 4
 echo "   assembly smoke OK"
+
+# Replication smoke: a 4-node cluster with -replicas 3 hoards two hot
+# documents, their origin dies without warning (SIGKILL), and both still
+# answer 200 through surviving replicas.
+echo "== replication smoke (4 nodes -replicas 3, kill the origin)"
+replication_smoke /tmp/planetp-replication-smoke
+echo "   replication smoke OK"
 
 # Directory memory budget guard: one 10k-peer compressed-resident replica
 # must stay under the checked-in bytes/peer budget (scripts/directory_budget).
