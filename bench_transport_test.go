@@ -1,0 +1,164 @@
+// Transport wire-model benchmarks: pooled persistent streams versus
+// dial-per-RPC, over real loopback TCP. The pooled numbers are what
+// sustained gossip and query fan-out pay per exchange; the dial-per-RPC
+// numbers replicate the pre-pool wire model (a fresh connection and fresh
+// gob type descriptors for every RPC — force it with PoolConns = 0).
+// check.sh bench mode records these in BENCH_transport.json.
+package planetp_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"planetp/internal/broker"
+	"planetp/internal/directory"
+	"planetp/internal/gossip"
+	"planetp/internal/replica"
+	"planetp/internal/search"
+	"planetp/internal/transport"
+)
+
+// tbenchHandler answers the minimal canned responses the bench RPCs need.
+type tbenchHandler struct{ id directory.PeerID }
+
+func (tbenchHandler) HandleGossip(directory.PeerID, *gossip.Message) {}
+func (tbenchHandler) HandleQuery(terms []string, _ bool) []search.DocResult {
+	return []search.DocResult{{Key: "doc-1", TermFreqs: map[string]int{terms[0]: 2}, DocLen: 64}}
+}
+func (tbenchHandler) HandleBrokerPut(string, broker.Snippet, time.Duration)     {}
+func (tbenchHandler) HandleBrokerGet(string) []broker.Snippet                   { return nil }
+func (tbenchHandler) HandleBrokerWatch([]string, directory.PeerID)              {}
+func (tbenchHandler) HandleNotify(broker.Snippet)                               {}
+func (tbenchHandler) HandleGetDoc(string) (string, bool)                        { return "", false }
+func (tbenchHandler) HandleProxySearch([]string, int) []search.ScoredDoc        { return nil }
+func (tbenchHandler) HandlePeerExchange(int) []directory.Record                 { return nil }
+func (tbenchHandler) HandleReplicaPut(string, string, directory.PeerID, uint32) {}
+func (tbenchHandler) HandleReplicaPurge(string, directory.PeerID, uint32)       {}
+func (tbenchHandler) HandleHotDocs(int) []replica.HotDoc                        { return nil }
+func (h tbenchHandler) SelfRecord() directory.Record {
+	return directory.Record{ID: h.id, Ver: directory.Version{Epoch: 1}}
+}
+
+// benchTransports builds a client/server pair on loopback TCP. pooled
+// false forces the dial-per-RPC wire model.
+func benchTransports(b *testing.B, pooled bool) (*transport.Transport, *transport.Transport) {
+	b.Helper()
+	var ta, tb *transport.Transport
+	resolve := func(id directory.PeerID) (string, bool) {
+		if id == 1 {
+			return tb.Addr(), true
+		}
+		return "", false
+	}
+	var err error
+	ta, err = transport.New(0, "", tbenchHandler{0}, resolve, 1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(ta.Close)
+	tb, err = transport.New(1, "", tbenchHandler{1}, resolve, 2, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(tb.Close)
+	ta.Retries = 0
+	if !pooled {
+		ta.PoolConns = 0
+	}
+	return ta, tb
+}
+
+// benchRPCs drives b.N exchanges and reports throughput and wire cost.
+func benchRPCs(b *testing.B, ta *transport.Transport, rpc func() error) {
+	// One warmup exchange, so the pooled variant measures steady-state
+	// reuse rather than the first dial.
+	if err := rpc(); err != nil {
+		b.Fatal(err)
+	}
+	sent0 := atomic.LoadInt64(&ta.BytesSent)
+	recv0 := atomic.LoadInt64(&ta.BytesRecv)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rpc(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rpcs/s")
+	wire := atomic.LoadInt64(&ta.BytesSent) - sent0 + atomic.LoadInt64(&ta.BytesRecv) - recv0
+	b.ReportMetric(float64(wire)/float64(b.N), "wire-B/rpc")
+}
+
+// smallGossip is the small-envelope case the pool targets: an
+// anti-entropy request, a handful of bytes of payload.
+func smallGossip() *gossip.Message {
+	return &gossip.Message{Type: gossip.MsgAERequest, From: 0, Digest: 42}
+}
+
+func BenchmarkTransportOnewayPooled(b *testing.B) {
+	ta, _ := benchTransports(b, true)
+	benchRPCs(b, ta, func() error { return ta.Send(1, smallGossip()) })
+}
+
+func BenchmarkTransportOnewayDialPerRPC(b *testing.B) {
+	ta, _ := benchTransports(b, false)
+	benchRPCs(b, ta, func() error { return ta.Send(1, smallGossip()) })
+}
+
+func BenchmarkTransportQueryPooled(b *testing.B) {
+	ta, _ := benchTransports(b, true)
+	benchRPCs(b, ta, func() error {
+		_, err := ta.Query(1, []string{"gossip"}, false)
+		return err
+	})
+}
+
+func BenchmarkTransportQueryDialPerRPC(b *testing.B) {
+	ta, _ := benchTransports(b, false)
+	benchRPCs(b, ta, func() error {
+		_, err := ta.Query(1, []string{"gossip"}, false)
+		return err
+	})
+}
+
+// Grouped fan-out: 8 concurrent queries per iteration, the query
+// engine's group-probe shape.
+func BenchmarkTransportFanoutPooled(b *testing.B) {
+	benchFanout(b, true)
+}
+
+func BenchmarkTransportFanoutDialPerRPC(b *testing.B) {
+	benchFanout(b, false)
+}
+
+func benchFanout(b *testing.B, pooled bool) {
+	ta, _ := benchTransports(b, pooled)
+	const width = 8
+	run := func() error {
+		errs := make(chan error, width)
+		for i := 0; i < width; i++ {
+			go func() {
+				_, err := ta.Query(1, []string{"gossip"}, false)
+				errs <- err
+			}()
+		}
+		for i := 0; i < width; i++ {
+			if err := <-errs; err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*width)/b.Elapsed().Seconds(), "rpcs/s")
+}

@@ -90,6 +90,13 @@ type Config struct {
 	// transport, broker, search). Nil gets a fresh registry, so
 	// Peer.Metrics() is always usable.
 	Metrics *metrics.Registry
+	// PoolConns caps the transport's idle pooled connections per peer
+	// address. 0 takes the transport default (4); negative disables
+	// pooling entirely (dial-per-RPC, same framed wire protocol).
+	PoolConns int
+	// PoolIdle is how long an unused pooled connection survives before
+	// the transport reaps it. 0 takes the transport default (60 s).
+	PoolIdle time.Duration
 	// FilterCacheBudget bounds the resident bytes of decoded peer Bloom
 	// filters held by the query engine's two-tier cache (compact
 	// set-bit-position arrays for every probed peer, fully decompressed
@@ -179,14 +186,14 @@ func NewPeer(cfg Config) (*Peer, error) {
 		cfg.Metrics = metrics.NewRegistry()
 	}
 	p := &Peer{
-		cfg:      cfg,
-		id:       cfg.ID,
-		dir:      directory.New(cfg.ID, cfg.Capacity),
-		store:    doc.NewStore(),
-		index:    index.New(),
-		docOf:    make(map[string]index.DocID),
-		filter:   bloom.Default(),
-		counting: bloom.DefaultCounting(),
+		cfg:       cfg,
+		id:        cfg.ID,
+		dir:       directory.New(cfg.ID, cfg.Capacity),
+		store:     doc.NewStore(),
+		index:     index.New(),
+		docOf:     make(map[string]index.DocID),
+		filter:    bloom.Default(),
+		counting:  bloom.DefaultCounting(),
 		reg:       cfg.Metrics,
 		stopCh:    make(chan struct{}),
 		loopDone:  make(chan struct{}),
@@ -203,6 +210,13 @@ func NewPeer(cfg Config) (*Peer, error) {
 	p.dir.SetOnEvict(func(ids []directory.PeerID) {
 		for _, id := range ids {
 			p.view.cache.Invalidate(id)
+			// An evicted or superseded record means the peer's old
+			// address (or incarnation) is gone: pooled conns to it
+			// must not carry another RPC. p.tp is nil only during
+			// construction, before any eviction can fire.
+			if tp := p.tp; tp != nil {
+				tp.InvalidatePeer(id)
+			}
 		}
 	})
 	p.registry = search.NewRegistry(p.view, fetcher{p})
@@ -220,6 +234,15 @@ func NewPeer(cfg Config) (*Peer, error) {
 	tp, err := transport.NewDeferred(cfg.ID, cfg.ListenAddr, (*handler)(p), p.resolveAddr, cfg.Seed, cfg.Metrics)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.PoolConns != 0 {
+		tp.PoolConns = cfg.PoolConns
+		if tp.PoolConns < 0 {
+			tp.PoolConns = 0
+		}
+	}
+	if cfg.PoolIdle > 0 {
+		tp.PoolIdle = cfg.PoolIdle
 	}
 	p.tp = tp
 	p.broker = broker.NewBroker(tp.Now)

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// A superseded directory record (rejoin with a bumped epoch on a new
+// address) must invalidate the transport's pooled conns for that peer:
+// the old streams point at a previous incarnation and may not carry
+// another RPC.
+func TestDirectoryEvictionInvalidatesPooledConns(t *testing.T) {
+	peers := community(t, 2, 0)
+	waitFor(t, 5*time.Second, "directories converge", func() bool {
+		_, ok := peers[0].Directory().Get(1)
+		return ok
+	})
+	// Pool a conn from 0 to 1.
+	if _, err := peers[0].tp.Query(1, []string{"x"}, false); err != nil {
+		t.Fatal(err)
+	}
+	before := peers[0].Metrics().Snapshot().Get("transport_pool_stale_total")
+
+	// Peer 1 "rejoins" elsewhere: a superseding record lands in 0's
+	// directory, which must evict the cached state — pooled conns
+	// included.
+	rec, ok := peers[0].Directory().Get(1)
+	if !ok {
+		t.Fatal("peer 1 missing from directory")
+	}
+	rec.Ver.Epoch++
+	rec.Ver.Seq = 0
+	rec.Addr = "127.0.0.1:1"
+	peers[0].Directory().Upsert(rec)
+
+	waitFor(t, 5*time.Second, "pooled conns invalidated", func() bool {
+		return peers[0].Metrics().Snapshot().Get("transport_pool_stale_total") > before
+	})
+}

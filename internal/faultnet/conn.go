@@ -1,17 +1,24 @@
-// net.Conn-level fault shim for the live transport. A Plan mounts onto
-// internal/transport through its DialHook seam: connection attempts can
-// be failed (dial faults, partitions), and established connections can be
-// degraded — a dropped message becomes a blackhole connection whose
-// writes succeed but go nowhere, a delayed message becomes a connection
-// that stalls before its first write. Duplication is not modeled at the
-// conn level (one connection carries exactly one envelope in PlanetP's
-// wire model, and TCP never duplicates a stream).
+// net.Conn-level fault shims for the live transport. A Plan mounts onto
+// internal/transport through two seams:
+//
+//   - SendFate matches transport.FateHook: the pooled transport consults
+//     it once per send attempt, so per-message fates (drop, delay, dial
+//     failure, partition, conn kill) apply even when the underlying
+//     connection was dialed long ago and is being reused.
+//   - Dialer matches transport.DialHook for connection-establishment
+//     faults on the dials that do happen — a dropped message becomes a
+//     blackhole connection whose writes succeed but go nowhere, a delayed
+//     message becomes a connection that stalls before its first write.
+//
+// Duplication is not modeled at the conn level (each envelope is framed
+// exactly once onto a stream, and TCP never duplicates bytes).
 package faultnet
 
 import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"planetp/internal/directory"
@@ -53,6 +60,30 @@ func (p *Plan) Dialer(self directory.PeerID, clock func() time.Duration, base Di
 			return &delayConn{Conn: conn, delay: f.Delay}, nil
 		}
 		return conn, nil
+	}
+}
+
+// SendFate adapts the Plan to transport.Transport's FateHook seam: one
+// verdict per send attempt, independent of whether the attempt dials a
+// fresh connection or reuses a pooled one. clock supplies the driver time
+// partitions are scripted against (typically time-since-start).
+//
+// The returned values map onto the transport's fate semantics: err fails
+// the attempt outright (dial failures, partitions — counted as dial
+// failures and fed to suppression exactly as a refused dial would be);
+// drop loses the message after a "successful" send; delay stalls the
+// attempt before transmission; kill tears the connection carrying the
+// message mid-exchange.
+func (p *Plan) SendFate(self directory.PeerID, clock func() time.Duration) func(to directory.PeerID) (err error, drop bool, delay time.Duration, kill bool) {
+	return func(to directory.PeerID) (error, bool, time.Duration, bool) {
+		f := p.Fate(clock(), self, to)
+		switch {
+		case f.Partitioned:
+			return fmt.Errorf("%w: partitioned from peer %d", ErrInjected, to), false, 0, false
+		case f.DialFail:
+			return fmt.Errorf("%w: dial to peer %d failed", ErrInjected, to), false, 0, false
+		}
+		return nil, f.Drop, f.Delay, f.ConnKill
 	}
 }
 
@@ -104,4 +135,75 @@ func (c *delayConn) Write(p []byte) (int, error) {
 		time.Sleep(c.delay)
 	}
 	return c.Conn.Write(p)
+}
+
+// KillMode selects how a KillableConn dies.
+type KillMode int
+
+const (
+	// KillWrite tears the next write mid-stream: the first TornBytes
+	// bytes reach the wire, the rest never do, and the write errors. The
+	// request provably never decodes on the far side.
+	KillWrite KillMode = iota
+	// KillRead lets writes through but fails every read after the next
+	// write completes — the request was delivered, the response never
+	// arrives. Reads before that write (a pool's checkout-time staleness
+	// probe) still hit the real connection, so the conn looks healthy
+	// until the request is committed.
+	KillRead
+)
+
+// KillableConn wraps a live connection so tests can kill it
+// deterministically mid-RPC — the conn-level fate a pooled transport must
+// survive. Kill arms the failure; the mode decides whether the request
+// write tears or the response read fails. In both modes the conn behaves
+// normally until the armed exchange actually commits a write, so a pool's
+// checkout-time validation sees a healthy conn and the failure lands
+// mid-RPC, where the interesting recovery paths live. Safe for concurrent
+// use.
+type KillableConn struct {
+	net.Conn
+	mu       sync.Mutex
+	armed    bool
+	readDead bool
+	mode     KillMode
+	torn     int
+}
+
+// Kill arms the connection to fail. For KillWrite, tornBytes of the next
+// write still reach the wire (0 = nothing does) before the error; for
+// KillRead, tornBytes is ignored.
+func (c *KillableConn) Kill(mode KillMode, tornBytes int) {
+	c.mu.Lock()
+	c.armed, c.mode, c.torn = true, mode, tornBytes
+	c.mu.Unlock()
+}
+
+func (c *KillableConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	armed, mode, torn := c.armed, c.mode, c.torn
+	if armed {
+		// The armed exchange is committing its request: reads are dead
+		// from here on, whichever mode.
+		c.readDead = true
+	}
+	c.mu.Unlock()
+	if !armed || mode != KillWrite {
+		return c.Conn.Write(p)
+	}
+	n := 0
+	if torn > 0 && torn < len(p) {
+		n, _ = c.Conn.Write(p[:torn])
+	}
+	return n, fmt.Errorf("%w: connection killed (torn write)", ErrInjected)
+}
+
+func (c *KillableConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	dead := c.readDead
+	c.mu.Unlock()
+	if dead {
+		return 0, fmt.Errorf("%w: connection killed (torn read)", ErrInjected)
+	}
+	return c.Conn.Read(p)
 }

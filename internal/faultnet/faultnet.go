@@ -84,6 +84,12 @@ type Config struct {
 	// DialFail is the probability a connection attempt fails outright
 	// (the sender sees an error, as from a refused or timed-out dial).
 	DialFail float64
+	// ConnKill is the probability the connection carrying a message dies
+	// as the message crosses it. Meaningful for pooled transports, where
+	// a long-lived stream can fail under an RPC long after its dial
+	// succeeded: the sender sees the conn tear mid-exchange and (for a
+	// reused conn) recovers with one transparent re-dial.
+	ConnKill float64
 	// Partitions are the scripted splits.
 	Partitions []Partition
 }
@@ -115,6 +121,10 @@ type Fate struct {
 	Delay time.Duration
 	// DupDelay is the duplicate's extra offset (meaningful when Dup).
 	DupDelay time.Duration
+	// ConnKill: the connection carrying this message dies under it. A
+	// pooled transport sees the stream tear mid-exchange; a dial-per-RPC
+	// transport sees the fresh conn die, failing the send outright.
+	ConnKill bool
 }
 
 // Failed reports whether the send attempt errors at the sender.
@@ -122,7 +132,7 @@ func (f Fate) Failed() bool { return f.DialFail || f.Partitioned }
 
 // Counts are the cumulative injected-fault totals, by kind.
 type Counts struct {
-	Drops, Dups, Delays, DialFails, PartitionBlocks, Messages int64
+	Drops, Dups, Delays, DialFails, ConnKills, PartitionBlocks, Messages int64
 }
 
 // fault-kind salts for the decision hash. Each kind draws an independent
@@ -134,6 +144,7 @@ const (
 	saltDelayAmt uint64 = 0x27d4eb2f165667c5
 	saltDupAmt   uint64 = 0x85ebca6b2ae35d63
 	saltDialFail uint64 = 0x2545f4914f6cdd1d
+	saltConnKill uint64 = 0x9e6c63d0762607a5
 )
 
 // Plan is a live fault schedule. Safe for concurrent use; fully
@@ -150,13 +161,13 @@ type Plan struct {
 	// schedules.
 	schedHash uint64
 
-	drops, dups, delays, dialFails, partBlocks, messages int64
+	drops, dups, delays, dialFails, connKills, partBlocks, messages int64
 
 	m planMetrics
 }
 
 type planMetrics struct {
-	drops, dups, delays, dialFails, partitioned *metrics.Counter
+	drops, dups, delays, dialFails, connKills, partitioned *metrics.Counter
 }
 
 // New builds a Plan from cfg. reg, when non-nil, receives the injected
@@ -170,6 +181,7 @@ func New(cfg Config, reg *metrics.Registry) *Plan {
 			dups:        reg.Counter("faultnet_dups_total"),
 			delays:      reg.Counter("faultnet_delays_total"),
 			dialFails:   reg.Counter("faultnet_dial_failures_total"),
+			connKills:   reg.Counter("faultnet_conn_kills_total"),
 			partitioned: reg.Counter("faultnet_partitioned_sends_total"),
 		},
 		schedHash: 1469598103934665603, // FNV-1a offset basis
@@ -270,6 +282,11 @@ func (p *Plan) Fate(now time.Duration, from, to directory.PeerID) Fate {
 		p.dups++
 		p.foldLocked(saltDup, pair, seq, f.DupDelay)
 	}
+	if p.cfg.ConnKill > 0 && p.roll(saltConnKill, pair, seq) < p.cfg.ConnKill {
+		f.ConnKill = true
+		p.connKills++
+		p.foldLocked(saltConnKill, pair, seq, 0)
+	}
 	p.mu.Unlock()
 
 	if f.Drop {
@@ -280,6 +297,9 @@ func (p *Plan) Fate(now time.Duration, from, to directory.PeerID) Fate {
 	}
 	if f.Dup {
 		p.m.dups.Inc()
+	}
+	if f.ConnKill {
+		p.m.connKills.Inc()
 	}
 	return f
 }
@@ -298,7 +318,7 @@ func (p *Plan) Counts() Counts {
 	defer p.mu.Unlock()
 	return Counts{
 		Drops: p.drops, Dups: p.dups, Delays: p.delays,
-		DialFails: p.dialFails, PartitionBlocks: p.partBlocks,
-		Messages: p.messages,
+		DialFails: p.dialFails, ConnKills: p.connKills,
+		PartitionBlocks: p.partBlocks, Messages: p.messages,
 	}
 }

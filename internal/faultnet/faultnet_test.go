@@ -189,3 +189,58 @@ func TestCleanPlanPassesThrough(t *testing.T) {
 		}
 	}
 }
+
+func TestConnKillDeterministicAndCounted(t *testing.T) {
+	cfg := Config{Seed: 13, ConnKill: 0.3}
+	p1, f1 := replay(cfg, 4000)
+	p2, f2 := replay(cfg, 4000)
+	if p1.ScheduleHash() != p2.ScheduleHash() {
+		t.Fatalf("schedule hashes differ: %x vs %x", p1.ScheduleHash(), p2.ScheduleHash())
+	}
+	kills := int64(0)
+	for i := range f1 {
+		if f1[i].ConnKill != f2[i].ConnKill {
+			t.Fatalf("fate %d differs", i)
+		}
+		if f1[i].ConnKill {
+			kills++
+		}
+	}
+	got := p1.Counts().ConnKills
+	if got != kills || got == 0 {
+		t.Fatalf("ConnKills = %d, want %d (> 0)", got, kills)
+	}
+	rate := float64(kills) / 4000
+	if math.Abs(rate-0.3) > 0.05 {
+		t.Fatalf("kill rate %.3f far from configured 0.3", rate)
+	}
+	reg := metrics.NewRegistry()
+	pm := New(cfg, reg)
+	for i := 0; i < 100; i++ {
+		pm.Fate(0, 1, 2)
+	}
+	if c := reg.Snapshot().Get("faultnet_conn_kills_total"); c != pm.Counts().ConnKills {
+		t.Fatalf("metric %d != counts %d", c, pm.Counts().ConnKills)
+	}
+}
+
+// SendFate adapts fates to the transport's per-send hook: dial failures
+// and partitions surface as errors, drop/delay/kill as verdict fields.
+func TestSendFateMapsFates(t *testing.T) {
+	p := New(Config{Seed: 3, DialFail: 1}, nil)
+	hook := p.SendFate(1, func() time.Duration { return 0 })
+	if err, _, _, _ := hook(2); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dial-fail fate should map to ErrInjected, got %v", err)
+	}
+	p = New(Config{Seed: 3, ConnKill: 1}, nil)
+	hook = p.SendFate(1, func() time.Duration { return 0 })
+	err, drop, delay, kill := hook(2)
+	if err != nil || drop || delay != 0 || !kill {
+		t.Fatalf("ConnKill fate mapped wrong: %v %v %v %v", err, drop, delay, kill)
+	}
+	p = New(Config{Seed: 3, Drop: 1}, nil)
+	hook = p.SendFate(1, func() time.Duration { return 0 })
+	if err, drop, _, _ := hook(2); err != nil || !drop {
+		t.Fatalf("Drop fate mapped wrong: %v %v", err, drop)
+	}
+}

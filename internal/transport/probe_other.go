@@ -1,0 +1,10 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd)
+
+package transport
+
+import "net"
+
+// connStale: without a non-blocking raw-fd peek, staleness cannot be
+// checked cheaply at checkout; assume fresh and let the transparent
+// re-dial absorb dead conns mid-RPC.
+func connStale(net.Conn) bool { return false }

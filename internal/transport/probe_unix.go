@@ -1,0 +1,41 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd
+
+package transport
+
+import (
+	"net"
+	"syscall"
+)
+
+// connStale reports whether an idle pooled conn is known-dead, by peeking
+// the socket without blocking (MSG_PEEK|MSG_DONTWAIT): a healthy idle
+// conn has nothing to read (EAGAIN); a conn the far side closed returns
+// EOF immediately; stray bytes outside an exchange mean the stream
+// desynced. Conns that expose no raw fd (test wrappers, synthetic fault
+// conns) cannot be peeked and report not-stale — if such a conn is dead
+// it is caught mid-RPC and absorbed by the transparent re-dial instead.
+func connStale(conn net.Conn) bool {
+	sc, ok := conn.(syscall.Conn)
+	if !ok {
+		return false
+	}
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return true
+	}
+	stale := false
+	var buf [1]byte
+	cerr := rc.Read(func(fd uintptr) bool {
+		n, _, err := syscall.Recvfrom(int(fd), buf[:], syscall.MSG_PEEK|syscall.MSG_DONTWAIT)
+		switch {
+		case err == syscall.EAGAIN || err == syscall.EWOULDBLOCK:
+			// Healthy and quiet.
+		case err == nil && n == 0:
+			stale = true // orderly EOF: the far side hung up
+		default:
+			stale = true // bytes outside an exchange, reset, or error
+		}
+		return true // one peek decides; never wait for readiness
+	})
+	return stale || cerr != nil
+}

@@ -4,10 +4,16 @@
 // gossip.Env, so the exact protocol engine that runs in the simulator
 // runs over real sockets here.
 //
-// The wire model is deliberately simple — one connection per exchange
-// (send, optionally read one reply, close). PlanetP's message rates are a
-// few per peer per gossip interval, so connection reuse buys nothing at
-// the scales the system targets.
+// The wire model is a persistent framed stream: each connection carries a
+// long-lived gob encoder/decoder pair on both ends, and every RPC —
+// including the protocol's one-way sends, which receive a small KindAck
+// receipt — is one request/response frame on that stream, bounded by a
+// per-exchange deadline. The client side pools idle connections per peer
+// address (see pool.go), so sustained gossip and query fan-out amortize
+// both the dial round-trip and gob's type descriptors across thousands of
+// exchanges; a reused conn that proves dead under an RPC is transparently
+// re-dialed once, but only when delivery provably did not happen, before
+// the failure reaches the retry/suppression machinery.
 package transport
 
 import (
@@ -84,6 +90,13 @@ const (
 	KindHotDocs
 	KindHotList
 
+	// KindAck is the server's receipt for a one-way envelope. On a
+	// pooled stream a sender cannot tell a delivered oneway from one
+	// written into a dead connection without it; the ack closes that gap
+	// and keeps offline detection (send failures drive suspicion)
+	// truthful under connection reuse.
+	KindAck
+
 	numKinds
 )
 
@@ -131,6 +144,8 @@ func (k Kind) String() string {
 		return "hot_docs"
 	case KindHotList:
 		return "hot_list"
+	case KindAck:
+		return "ack"
 	}
 	return "unknown"
 }
@@ -225,7 +240,10 @@ type Transport struct {
 	mu        sync.Mutex
 	closed    bool
 	accepting bool
+	sessions  map[net.Conn]struct{}
 	wg        sync.WaitGroup
+
+	pool *connPool
 
 	// DialTimeout bounds connection attempts (drives off-line
 	// detection). Default 2 s.
@@ -239,6 +257,22 @@ type Transport struct {
 	// client that connects and stalls cannot pin a handler goroutine
 	// forever. Default 30 s.
 	ServeTimeout time.Duration
+	// ServeIdleTimeout bounds how long an inbound session may sit
+	// between requests before the server hangs up (the client pool's
+	// staleness probe absorbs the hangup without losing an RPC).
+	// Default 2 min.
+	ServeIdleTimeout time.Duration
+	// PoolConns caps the idle connections retained per peer address;
+	// checkout prefers the most recently used. 0 retains none —
+	// dial-per-RPC, the pre-pool behavior, with the same framed wire
+	// protocol. Default 4.
+	PoolConns int
+	// PoolMaxIdle caps idle connections across all addresses; beyond it
+	// the longest-idle conn is evicted, whoever owns it. Default 128.
+	PoolMaxIdle int
+	// PoolIdle is how long an unused pooled conn survives before the
+	// reaper closes it. Default 60 s.
+	PoolIdle time.Duration
 	// Retries is how many extra attempts one peer-addressed send makes
 	// after the first fails, with capped jittered backoff between
 	// attempts (default 1). Protocol operations tolerate the resulting
@@ -259,6 +293,11 @@ type Transport struct {
 	// sends (fault injection; see internal/faultnet). Set before use;
 	// not synchronized.
 	DialHook DialHook
+	// FateHook, when non-nil, is consulted once per peer-addressed send
+	// attempt, before the pool is touched — the per-message fault seam
+	// for pooled streams, where most sends never dial (see
+	// faultnet.Plan.SendFate). Set before use; not synchronized.
+	FateHook FateHook
 	// BytesSent/BytesRecv count real encoded bytes (approximate:
 	// counted at the net.Conn boundary). Read with atomic.LoadInt64.
 	BytesSent, BytesRecv int64
@@ -284,8 +323,21 @@ type tpMetrics struct {
 	retries      *metrics.Counter
 	suppressed   *metrics.Counter
 	probes       *metrics.Counter
-	txBytes      [numKinds]*metrics.Counter
-	rxBytes      [numKinds]*metrics.Counter
+
+	// Pool instrumentation: reuse/misses give the connection-reuse
+	// ratio; stale counts conns discarded at checkout or invalidation;
+	// redials counts transparent re-dials after a reused conn died
+	// mid-RPC; evicted/reaped count cap- and idle-driven closes.
+	poolReuse     *metrics.Counter
+	poolMisses    *metrics.Counter
+	poolStale     *metrics.Counter
+	poolRedials   *metrics.Counter
+	poolEvicted   *metrics.Counter
+	poolReaped    *metrics.Counter
+	poolIdleConns *metrics.Gauge
+
+	txBytes [numKinds]*metrics.Counter
+	rxBytes [numKinds]*metrics.Counter
 }
 
 func newTpMetrics(r *metrics.Registry) tpMetrics {
@@ -298,6 +350,14 @@ func newTpMetrics(r *metrics.Registry) tpMetrics {
 		retries:    r.Counter("transport_send_retries_total"),
 		suppressed: r.Counter("transport_suppressed_sends_total"),
 		probes:     r.Counter("transport_recovery_probes_total"),
+
+		poolReuse:     r.Counter("transport_pool_reuse_total"),
+		poolMisses:    r.Counter("transport_pool_misses_total"),
+		poolStale:     r.Counter("transport_pool_stale_total"),
+		poolRedials:   r.Counter("transport_pool_redials_total"),
+		poolEvicted:   r.Counter("transport_pool_evicted_total"),
+		poolReaped:    r.Counter("transport_pool_reaped_total"),
+		poolIdleConns: r.Gauge("transport_pool_idle_conns"),
 	}
 	for k := Kind(0); k < numKinds; k++ {
 		m.txBytes[k] = r.Counter("transport_tx_bytes_" + k.String())
@@ -316,10 +376,13 @@ func (t *Transport) countTimeout(err error) {
 }
 
 // countingConn counts bytes crossing a net.Conn so the transport can
-// attribute real wire volume to an envelope kind.
+// attribute real wire volume to an envelope kind. On a pooled stream the
+// conn outlives many exchanges, so take drains per-exchange deltas
+// instead of the conn being read once at close.
 type countingConn struct {
 	net.Conn
-	sent, recv int64
+	sent, recv           int64
+	takenSent, takenRecv int64
 }
 
 func (c *countingConn) Read(p []byte) (int, error) {
@@ -334,15 +397,23 @@ func (c *countingConn) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// account charges a finished exchange's bytes to the transport totals and
-// the per-kind counters. kind is the request kind; responses are charged
-// to the same kind (the exchange that caused them).
-func (t *Transport) account(kind Kind, cc *countingConn) {
-	atomic.AddInt64(&t.BytesSent, cc.sent)
-	atomic.AddInt64(&t.BytesRecv, cc.recv)
+// take returns the bytes transferred since the previous take — the
+// current exchange's share of the stream.
+func (c *countingConn) take() (sent, recv int64) {
+	sent, recv = c.sent-c.takenSent, c.recv-c.takenRecv
+	c.takenSent, c.takenRecv = c.sent, c.recv
+	return sent, recv
+}
+
+// account charges one exchange's byte delta to the transport totals and
+// the per-kind counters. kind is the request kind; responses (and acks)
+// are charged to the same kind — the exchange that caused them.
+func (t *Transport) account(kind Kind, sent, recv int64) {
+	atomic.AddInt64(&t.BytesSent, sent)
+	atomic.AddInt64(&t.BytesRecv, recv)
 	if kind < numKinds {
-		t.m.txBytes[kind].Add(cc.sent)
-		t.m.rxBytes[kind].Add(cc.recv)
+		t.m.txBytes[kind].Add(sent)
+		t.m.rxBytes[kind].Add(recv)
 	}
 }
 
@@ -375,22 +446,53 @@ func NewDeferred(id directory.PeerID, listenAddr string, handler Handler, resolv
 	}
 	t := &Transport{
 		id: id, ln: ln, handler: handler, resolve: resolve,
-		start:         time.Now(),
-		rng:           rand.New(rand.NewSource(seed)),
-		retryRng:      rand.New(rand.NewSource(seed ^ 0x7265747279)), // "retry"
-		intervalCh:    make(chan time.Duration, 4),
-		DialTimeout:   2 * time.Second,
-		ServeTimeout:  30 * time.Second,
-		Retries:       1,
-		RetryBase:     100 * time.Millisecond,
-		RetryMax:      5 * time.Second,
-		FailThreshold: 3,
-		health:        make(map[directory.PeerID]*peerHealth),
-		m:             newTpMetrics(reg),
+		start:            time.Now(),
+		rng:              rand.New(rand.NewSource(seed)),
+		retryRng:         rand.New(rand.NewSource(seed ^ 0x7265747279)), // "retry"
+		intervalCh:       make(chan time.Duration, 4),
+		sessions:         make(map[net.Conn]struct{}),
+		DialTimeout:      2 * time.Second,
+		ServeTimeout:     30 * time.Second,
+		ServeIdleTimeout: 2 * time.Minute,
+		PoolConns:        defaultPoolConns,
+		PoolMaxIdle:      defaultPoolMaxIdle,
+		PoolIdle:         time.Minute,
+		Retries:          1,
+		RetryBase:        100 * time.Millisecond,
+		RetryMax:         5 * time.Second,
+		FailThreshold:    3,
+		health:           make(map[directory.PeerID]*peerHealth),
+		m:                newTpMetrics(reg),
 	}
+	t.pool = newConnPool(t)
 	t.nowFn = t.Now
 	t.sleep = time.Sleep
 	return t, nil
+}
+
+// Pool sizing defaults: a peer's working set of correspondents per gossip
+// round is small, so a handful of conns per address and a bounded global
+// budget cover the hot paths.
+const (
+	defaultPoolConns   = 4
+	defaultPoolMaxIdle = 128
+)
+
+// poolIdle resolves the effective idle lifetime for pooled conns.
+func (t *Transport) poolIdle() time.Duration {
+	if t.PoolIdle > 0 {
+		return t.PoolIdle
+	}
+	return time.Minute
+}
+
+// serveIdle resolves the effective between-requests deadline for inbound
+// sessions.
+func (t *Transport) serveIdle() time.Duration {
+	if t.ServeIdleTimeout > 0 {
+		return t.ServeIdleTimeout
+	}
+	return 2 * time.Minute
 }
 
 // StartAccepting begins serving inbound connections. Idempotent, and a
@@ -419,7 +521,9 @@ func (t *Transport) rpcTimeout() time.Duration {
 // Addr returns the bound listen address.
 func (t *Transport) Addr() string { return t.ln.Addr().String() }
 
-// Close shuts the endpoint down and waits for the accept loop.
+// Close shuts the endpoint down: the listener stops, live inbound
+// sessions are severed (their goroutines unblock on the closed conn), the
+// client pool drains, and every server goroutine is awaited.
 func (t *Transport) Close() {
 	t.mu.Lock()
 	if t.closed {
@@ -427,8 +531,16 @@ func (t *Transport) Close() {
 		return
 	}
 	t.closed = true
+	open := make([]net.Conn, 0, len(t.sessions))
+	for c := range t.sessions {
+		open = append(open, c)
+	}
 	t.mu.Unlock()
 	t.ln.Close()
+	for _, c := range open {
+		c.Close()
+	}
+	t.pool.closeAll()
 	t.wg.Wait()
 }
 
@@ -458,14 +570,16 @@ func (t *Transport) Send(to directory.PeerID, m *gossip.Message) error {
 
 // --- client operations ---
 
-// dial resolves and connects to a peer, through DialHook when one is
-// mounted.
-func (t *Transport) dial(to directory.PeerID) (net.Conn, error) {
-	addr, ok := t.resolve(to)
-	if !ok || addr == "" {
-		t.m.dialFailures.Inc()
-		return nil, fmt.Errorf("transport: no address for peer %d", to)
-	}
+// FateHook decides one send attempt's injected fate (see
+// faultnet.Plan.SendFate): err fails the attempt outright (counted and
+// suppressed like a refused dial); drop loses the message after an
+// apparently clean send; delay stalls before transmission; kill tears the
+// connection carrying the exchange.
+type FateHook func(to directory.PeerID) (err error, drop bool, delay time.Duration, kill bool)
+
+// dialPeer connects to a resolved peer address, through DialHook when one
+// is mounted.
+func (t *Transport) dialPeer(to directory.PeerID, addr string) (net.Conn, error) {
 	if t.DialHook != nil {
 		t.m.dials.Inc()
 		conn, err := t.DialHook(to, addr, t.DialTimeout)
@@ -492,28 +606,13 @@ func (t *Transport) dialAddr(addr string) (net.Conn, error) {
 	return conn, nil
 }
 
-// oneway sends an envelope without waiting for a reply, retrying per the
-// transport's retry policy.
+// oneway sends an envelope and waits for the server's ack, retrying per
+// the transport's retry policy.
 func (t *Transport) oneway(to directory.PeerID, env *Envelope) error {
-	return t.withRetry(to, func() error { return t.onewayOnce(to, env) })
-}
-
-func (t *Transport) onewayOnce(to directory.PeerID, env *Envelope) error {
-	conn, err := t.dial(to)
-	if err != nil {
+	return t.withRetry(to, func() error {
+		_, err := t.roundTrip(to, env, true)
 		return err
-	}
-	cc := &countingConn{Conn: conn}
-	defer func() {
-		conn.Close()
-		t.account(env.Kind, cc)
-	}()
-	_ = conn.SetDeadline(time.Now().Add(t.DialTimeout))
-	if err := gob.NewEncoder(cc).Encode(env); err != nil {
-		t.countTimeout(err)
-		return err
-	}
-	return nil
+	})
 }
 
 // call sends an envelope and reads one reply, retrying per the
@@ -521,11 +620,7 @@ func (t *Transport) onewayOnce(to directory.PeerID, env *Envelope) error {
 func (t *Transport) call(to directory.PeerID, env *Envelope) (*Envelope, error) {
 	var resp *Envelope
 	err := t.withRetry(to, func() error {
-		conn, err := t.dial(to)
-		if err != nil {
-			return err
-		}
-		r, err := t.exchange(conn, env)
+		r, err := t.roundTrip(to, env, false)
 		if err != nil {
 			return err
 		}
@@ -539,37 +634,138 @@ func (t *Transport) call(to directory.PeerID, env *Envelope) (*Envelope, error) 
 }
 
 // callAddr is like call but dials a raw address (bootstrap, before the
-// peer is in the directory).
+// peer is in the directory). Conns pool under the raw address like any
+// other.
 func (t *Transport) callAddr(addr string, env *Envelope) (*Envelope, error) {
-	conn, err := t.dialAddr(addr)
-	if err != nil {
-		return nil, err
-	}
-	return t.exchange(conn, env)
+	return t.exchangePooled(addr, func() (net.Conn, error) { return t.dialAddr(addr) }, env, false, false)
 }
 
-// exchange runs one request/response round trip on an open connection,
-// closing it when done.
-func (t *Transport) exchange(conn net.Conn, env *Envelope) (*Envelope, error) {
+// roundTrip is one peer-addressed send attempt: resolve, consult the
+// fault seam, then run the exchange over a pooled conn.
+func (t *Transport) roundTrip(to directory.PeerID, env *Envelope, oneway bool) (*Envelope, error) {
+	addr, ok := t.resolve(to)
+	if !ok || addr == "" {
+		t.m.dialFailures.Inc()
+		return nil, fmt.Errorf("transport: no address for peer %d", to)
+	}
+	kill := false
+	if t.FateHook != nil {
+		ferr, drop, delay, k := t.FateHook(to)
+		if ferr != nil {
+			// Injected dial failure / partition: account it exactly
+			// like a refused dial so suppression sees the same signal.
+			t.m.dials.Inc()
+			t.m.dialFailures.Inc()
+			t.countTimeout(ferr)
+			return nil, ferr
+		}
+		if delay > 0 {
+			t.sleep(delay)
+		}
+		if drop {
+			// The message is lost after a clean send: oneways succeed
+			// from the sender's view, calls never hear back.
+			if oneway {
+				return nil, nil
+			}
+			return nil, fmt.Errorf("faultnet: response from peer %d dropped", to)
+		}
+		kill = k
+	}
+	t.pool.noteAddr(to, addr)
+	return t.exchangePooled(addr, func() (net.Conn, error) { return t.dialPeer(to, addr) }, env, oneway, kill)
+}
+
+// exchangePooled runs one framed RPC against addr over a pooled conn,
+// dialing on a pool miss. A reused conn that fails under the RPC is
+// closed and — only when delivery provably did not happen (see
+// pconn.undelivered) — transparently re-dialed once; all other failures
+// surface to the caller's retry/suppression machinery. kill injects a
+// conn death just before the exchange (faultnet's ConnKill fate).
+func (t *Transport) exchangePooled(addr string, dial func() (net.Conn, error), env *Envelope, oneway, kill bool) (*Envelope, error) {
+	pc, reused := t.pool.get(addr), true
+	if pc == nil {
+		conn, err := dial()
+		if err != nil {
+			return nil, err
+		}
+		t.m.poolMisses.Inc()
+		pc, reused = newPconn(conn, addr), false
+	}
+	if kill {
+		pc.conn.Close()
+	}
+	resp, err := t.exchangeOn(pc, env, oneway)
+	if err == nil {
+		t.pool.put(pc)
+		return resp, nil
+	}
+	if isRemote(err) {
+		// The peer answered; the stream is intact and reusable.
+		t.pool.put(pc)
+		return nil, err
+	}
+	pc.conn.Close()
+	if !reused || !pc.undelivered(oneway) {
+		return nil, err
+	}
+	// The conn was healthy when pooled but dead under this RPC, and the
+	// request cannot have taken effect: re-dial once, invisibly to the
+	// retry layer.
+	t.m.poolRedials.Inc()
+	conn, derr := dial()
+	if derr != nil {
+		return nil, derr
+	}
+	pc = newPconn(conn, addr)
+	resp, err = t.exchangeOn(pc, env, oneway)
+	if err != nil {
+		if isRemote(err) {
+			t.pool.put(pc)
+		} else {
+			pc.conn.Close()
+		}
+		return nil, err
+	}
+	t.pool.put(pc)
+	return resp, nil
+}
+
+// isRemote reports whether err is the peer answering with an application
+// error — a healthy exchange as far as the wire is concerned.
+func isRemote(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re)
+}
+
+// exchangeOn runs one request/response frame on a pooled conn: arm the
+// per-exchange deadline, encode the request, decode the reply (an ack,
+// for oneways). Byte deltas and latency are recorded per exchange.
+func (t *Transport) exchangeOn(pc *pconn, env *Envelope, oneway bool) (*Envelope, error) {
 	start := time.Now()
-	cc := &countingConn{Conn: conn}
+	pc.beginExchange()
 	defer func() {
-		conn.Close()
-		t.account(env.Kind, cc)
+		sent, recv := pc.cc.take()
+		t.account(env.Kind, sent, recv)
 		t.m.rpcLatencyUS.Observe(time.Since(start).Microseconds())
 	}()
-	_ = conn.SetDeadline(time.Now().Add(t.rpcTimeout()))
-	if err := gob.NewEncoder(cc).Encode(env); err != nil {
+	_ = pc.conn.SetDeadline(time.Now().Add(t.rpcTimeout()))
+	if err := pc.enc.Encode(env); err != nil {
 		t.countTimeout(err)
 		return nil, err
 	}
+	pc.wroteReq = true
 	var resp Envelope
-	if err := gob.NewDecoder(cc).Decode(&resp); err != nil {
+	if err := pc.dec.Decode(&resp); err != nil {
 		t.countTimeout(err)
 		return nil, err
 	}
+	_ = pc.conn.SetDeadline(time.Time{})
 	if resp.Err != "" {
 		return nil, &RemoteError{Msg: resp.Err}
+	}
+	if oneway {
+		return nil, nil
 	}
 	return &resp, nil
 }
@@ -682,7 +878,15 @@ func (t *Transport) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.sessions[conn] = struct{}{}
 		t.wg.Add(1)
+		t.mu.Unlock()
 		go func() {
 			defer t.wg.Done()
 			t.serve(conn)
@@ -690,61 +894,104 @@ func (t *Transport) acceptLoop() {
 	}
 }
 
-// serve handles one inbound connection (one request).
+// serve handles one inbound session: a loop of request/response frames on
+// a persistent stream (the codec pair lives as long as the conn, so gob
+// type descriptors cross once). Between requests the conn may idle up to
+// ServeIdleTimeout; each accepted request gets ServeTimeout to finish.
+// The session ends when the client hangs up (or its pool reaps the conn),
+// the idle deadline fires, a frame fails to decode, or a response fails
+// to write.
 func (t *Transport) serve(conn net.Conn) {
-	cc := &countingConn{Conn: conn}
-	var env Envelope
 	defer func() {
 		conn.Close()
-		t.account(env.Kind, cc)
+		t.mu.Lock()
+		delete(t.sessions, conn)
+		t.mu.Unlock()
 	}()
-	_ = conn.SetDeadline(time.Now().Add(t.ServeTimeout))
-	if err := gob.NewDecoder(cc).Decode(&env); err != nil {
-		t.countTimeout(err)
-		return
-	}
+	cc := &countingConn{Conn: conn}
+	dec := gob.NewDecoder(cc)
 	enc := gob.NewEncoder(cc)
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(t.serveIdle()))
+		var env Envelope
+		if err := dec.Decode(&env); err != nil {
+			// End of session — client gone, idle expiry, or garbage.
+			// Stray bytes still land in the totals (kind unknown, so
+			// no per-kind charge).
+			sent, recv := cc.take()
+			atomic.AddInt64(&t.BytesSent, sent)
+			atomic.AddInt64(&t.BytesRecv, recv)
+			return
+		}
+		_ = conn.SetDeadline(time.Now().Add(t.ServeTimeout))
+		err := t.dispatch(enc, &env)
+		sent, recv := cc.take()
+		t.account(env.Kind, sent, recv)
+		if err != nil {
+			t.countTimeout(err)
+			return
+		}
+		_ = conn.SetWriteDeadline(time.Time{})
+	}
+}
+
+// dispatch handles one decoded request and writes exactly one response
+// frame — oneway kinds get a KindAck receipt, so a pooled sender can tell
+// a delivered envelope from one written into a dead conn. The returned
+// error is the response write's.
+func (t *Transport) dispatch(enc *gob.Encoder, env *Envelope) error {
 	switch env.Kind {
 	case KindGossip:
 		if env.Gossip != nil {
 			t.handler.HandleGossip(env.From, env.Gossip)
 		}
+		return t.ack(enc)
 	case KindQuery:
 		docs := t.handler.HandleQuery(env.Terms, env.All)
-		_ = enc.Encode(&Envelope{Kind: KindQueryResp, From: t.id, Docs: docs})
+		return enc.Encode(&Envelope{Kind: KindQueryResp, From: t.id, Docs: docs})
 	case KindBrokerPut:
 		if env.Snippet != nil {
 			t.handler.HandleBrokerPut(env.Key, *env.Snippet, env.Discard)
 		}
+		return t.ack(enc)
 	case KindBrokerGet:
 		snips := t.handler.HandleBrokerGet(env.Key)
-		_ = enc.Encode(&Envelope{Kind: KindSnippets, From: t.id, Snips: snips})
+		return enc.Encode(&Envelope{Kind: KindSnippets, From: t.id, Snips: snips})
 	case KindBrokerWatch:
 		t.handler.HandleBrokerWatch(env.Terms, env.From)
+		return t.ack(enc)
 	case KindNotify:
 		if env.Snippet != nil {
 			t.handler.HandleNotify(*env.Snippet)
 		}
+		return t.ack(enc)
 	case KindGetDoc:
 		xml, found := t.handler.HandleGetDoc(env.Key)
-		_ = enc.Encode(&Envelope{Kind: KindDoc, From: t.id, XML: xml, Found: found})
+		return enc.Encode(&Envelope{Kind: KindDoc, From: t.id, XML: xml, Found: found})
 	case KindRecord:
 		rec := t.handler.SelfRecord()
-		_ = enc.Encode(&Envelope{Kind: KindRecordResp, From: t.id, Record: &rec})
+		return enc.Encode(&Envelope{Kind: KindRecordResp, From: t.id, Record: &rec})
 	case KindProxySearch:
 		scored := t.handler.HandleProxySearch(env.Terms, env.K)
-		_ = enc.Encode(&Envelope{Kind: KindProxyResp, From: t.id, Scored: scored})
+		return enc.Encode(&Envelope{Kind: KindProxyResp, From: t.id, Scored: scored})
 	case KindPeerExchange:
 		recs := t.handler.HandlePeerExchange(clampExchange(env.K))
-		_ = enc.Encode(&Envelope{Kind: KindPeers, From: t.id, Records: recs})
+		return enc.Encode(&Envelope{Kind: KindPeers, From: t.id, Records: recs})
 	case KindReplicaPut:
 		t.handler.HandleReplicaPut(env.Key, env.XML, env.Origin, env.Epoch)
+		return t.ack(enc)
 	case KindReplicaPurge:
 		t.handler.HandleReplicaPurge(env.Key, env.Origin, env.Epoch)
+		return t.ack(enc)
 	case KindHotDocs:
 		hot := t.handler.HandleHotDocs(clampExchange(env.K))
-		_ = enc.Encode(&Envelope{Kind: KindHotList, From: t.id, Hot: hot})
+		return enc.Encode(&Envelope{Kind: KindHotList, From: t.id, Hot: hot})
 	default:
-		_ = enc.Encode(&Envelope{Kind: env.Kind, From: t.id, Err: "unknown kind"})
+		return enc.Encode(&Envelope{Kind: env.Kind, From: t.id, Err: "unknown kind"})
 	}
+}
+
+// ack writes the oneway receipt frame.
+func (t *Transport) ack(enc *gob.Encoder) error {
+	return enc.Encode(&Envelope{Kind: KindAck, From: t.id})
 }

@@ -5,13 +5,16 @@
 #   scripts/check.sh        # full gate
 #   scripts/check.sh bench  # Table 1 + query fast-path benchmarks to
 #                           # BENCH_query.json, ingest throughput
-#                           # benchmarks to BENCH_ingest.json, serving-tier
-#                           # load test (live 2-node cluster + loadgen) to
-#                           # BENCH_serve.json, churn-storm simulation to
-#                           # BENCH_churn.json, replication availability
-#                           # simulation to BENCH_replication.json,
-#                           # directory memory scaling (10k + 100k peers)
-#                           # to BENCH_directory.json
+#                           # benchmarks to BENCH_ingest.json, transport
+#                           # wire-model micro-bench (pooled vs
+#                           # dial-per-RPC) to BENCH_transport.json,
+#                           # serving-tier load test (live 2-node cluster
+#                           # + loadgen) to BENCH_serve.json, churn-storm
+#                           # simulation to BENCH_churn.json, replication
+#                           # availability simulation to
+#                           # BENCH_replication.json, directory memory
+#                           # scaling (10k + 100k peers) to
+#                           # BENCH_directory.json
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -95,6 +98,21 @@ assembly_smoke() {
 		done
 		if [ "$good" = 1 ]; then assembled=1; fi
 	done
+	# Connection-reuse guard: by convergence the gossip mesh has run many
+	# rounds, and with the pooled transport the overwhelming share of
+	# those sends must have reused a pooled conn rather than dialed.
+	# Require reuse > misses (ratio above 0.5) on node 0 after two more
+	# seconds of steady-state gossip.
+	reuse="" miss="" reuse_ok=""
+	if [ -n "$assembled" ]; then
+		sleep 2
+		m="$(curl -sf "http://127.0.0.1:17500/debug/metrics" || true)"
+		reuse="$(printf '%s\n' "$m" | sed -n 's/.*"transport_pool_reuse_total": *\([0-9][0-9]*\).*/\1/p' | head -n 1)"
+		miss="$(printf '%s\n' "$m" | sed -n 's/.*"transport_pool_misses_total": *\([0-9][0-9]*\).*/\1/p' | head -n 1)"
+		if [ -n "$reuse" ] && [ -n "$miss" ] && [ "$reuse" -gt "$miss" ]; then
+			reuse_ok=1
+		fi
+	fi
 	kill $(cat "$dir/pids") 2>/dev/null || true
 	wait 2>/dev/null || true
 	trap - EXIT
@@ -103,6 +121,11 @@ assembly_smoke() {
 		tail -n 5 "$dir"/n*.log >&2 || true
 		exit 1
 	fi
+	if [ -z "$reuse_ok" ]; then
+		echo "assembly smoke FAILED: pool reuse ratio below floor (reuse=${reuse:-?} misses=${miss:-?})" >&2
+		exit 1
+	fi
+	echo "   pool reuse guard: reuse=$reuse misses=$miss"
 }
 
 # replication_smoke DIR: boot 4 nodes with -replicas 3, publish two
@@ -208,6 +231,10 @@ if [ "${1:-}" = "bench" ]; then
 	echo "== ingest benchmarks (benchtime ${BENCHTIME}) -> BENCH_ingest.json"
 	go test -run='^$' -bench='Ingest' \
 		-benchtime="$BENCHTIME" -benchmem -json . | tee BENCH_ingest.json |
+		grep -o '"Output":"Benchmark[^"]*' | sed 's/"Output":"//;s/\\t/\t/g;s/\\n$//' || true
+	echo "== transport wire-model benchmarks (benchtime ${BENCHTIME}) -> BENCH_transport.json"
+	go test -run='^$' -bench='Transport' \
+		-benchtime="$BENCHTIME" -benchmem -json . | tee BENCH_transport.json |
 		grep -o '"Output":"Benchmark[^"]*' | sed 's/"Output":"//;s/\\t/\t/g;s/\\n$//' || true
 	echo "== serving-tier load test (live 2-node cluster) -> BENCH_serve.json"
 	serve_cluster_run /tmp/planetp-serve-bench 2 \
